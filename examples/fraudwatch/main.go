@@ -1,0 +1,81 @@
+// Fraudwatch demonstrates the paper's financial-intelligence motivation
+// (§1): in a bitcoin-like transaction network, cyclic flow motifs within a
+// short window — money leaving an account and returning through
+// intermediaries — are a classic laundering signature, and chains of
+// significant transfers within limited time match FIU "rapid movement"
+// indicators.
+//
+// The example generates a synthetic transaction network with genuine flow
+// cascades, ranks the strongest cyclic instances (the suspects), and shows
+// that cyclic flow is statistically over-represented against flow-permuted
+// null models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowmotif"
+)
+
+func main() {
+	events, err := flowmotif.GenerateBitcoin(flowmotif.BitcoinConfig{
+		Nodes:    2000,
+		SeedTxns: 10000,
+		Duration: 30 * 24 * 3600,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := flowmotif.NewGraph(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("transaction network: %d users, %d counterparty pairs, %d transfers, avg %.2f BTC\n",
+		st.Nodes, st.ConnectedPairs, st.Events, st.AvgFlow)
+
+	const delta = 3600 // one hour: "paid out and paid back in the same hour"
+	cycle, _ := flowmotif.ParseMotif("M(3,3)")
+
+	// Rank the strongest cyclic movements: the top-k instances by flow.
+	suspects, err := flowmotif.TopK(g, cycle, delta, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop cyclic flows (δ=%ds):\n", delta)
+	for i, in := range suspects {
+		fmt.Printf("  #%d users=%v moved %.2f BTC in %ds (edge flows %.5g)\n",
+			i+1, in.Nodes, in.Flow, in.End-in.Start, in.EdgeFlows)
+	}
+	if len(suspects) == 0 {
+		fmt.Println("  (no cyclic instances at this δ)")
+	}
+
+	// Smurfing-style chains: big aggregate flow along 3-hop chains.
+	chain, _ := flowmotif.ParseMotif("M(4,3)")
+	chains, err := flowmotif.TopK(g, chain, delta, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop chain flows (δ=%ds):\n", delta)
+	for i, in := range chains {
+		fmt.Printf("  #%d route=%v moved %.2f BTC\n", i+1, in.Nodes, in.Flow)
+	}
+
+	// Are these patterns meaningful, or would any arrangement of the same
+	// amounts produce them? Compare with flow-permuted networks (§6.3).
+	for _, mo := range []*flowmotif.Motif{cycle, chain} {
+		res, err := flowmotif.Significance(g, mo,
+			flowmotif.Params{Delta: delta, Phi: 5},
+			flowmotif.SignificanceConfig{Runs: 10, Seed: 7, Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsignificance of %v at φ=5: real=%d vs random %.1f±%.1f (z=%.1f, p=%.2f)\n",
+			mo, res.Real, res.Mean, res.Std, res.ZScore, res.PValue)
+	}
+	fmt.Println("\npositive z-scores: the network genuinely transfers flow along these motifs;")
+	fmt.Println("permuting amounts destroys the pattern, as the paper observes in Figure 14.")
+}

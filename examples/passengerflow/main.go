@@ -1,0 +1,102 @@
+// Passengerflow analyzes a taxi-zone passenger network (the paper's third
+// dataset): chains of region-to-region movements within short windows
+// reveal commuter corridors. It demonstrates the §5.1 extensibility APIs:
+// the top-1 instance per structural match (which zone corridors carry the
+// most people) and per window position (when the flow peaks).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"flowmotif"
+)
+
+func main() {
+	events, err := flowmotif.GeneratePassenger(flowmotif.PassengerConfig{
+		Zones: 120,
+		Trips: 15000,
+		Days:  7,
+		Seed:  2018,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := flowmotif.NewGraph(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("passenger network: %d zones, %d OD pairs, %d trips, avg %.2f passengers\n",
+		st.Nodes, st.ConnectedPairs, st.Events, st.AvgFlow)
+
+	const delta = 900                          // 15 minutes, the paper's default for this dataset
+	chain, _ := flowmotif.ParseMotif("M(4,3)") // zone → zone → zone → zone
+
+	// How common are chain movements vs. circular ones? (The paper finds
+	// acyclic motifs dominate on passenger data.)
+	for _, name := range []string{"M(4,3)", "M(4,4)A"} {
+		mo, _ := flowmotif.ParseMotif(name)
+		n, err := flowmotif.CountInstances(g, mo, flowmotif.Params{Delta: delta, Phi: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s instances (δ=%d, φ=2): %d\n", name, delta, n)
+	}
+
+	// Per-match top-1: the corridors (zone sequences) with the heaviest
+	// 15-minute passenger relay.
+	type corridor struct {
+		zones []flowmotif.NodeID
+		flow  float64
+	}
+	var corridors []corridor
+	err = flowmotif.TopOnePerMatch(g, chain, delta, func(mt *flowmotif.Match, flow float64) {
+		if flow > 0 {
+			corridors = append(corridors, corridor{
+				zones: append([]flowmotif.NodeID(nil), mt.Nodes...),
+				flow:  flow,
+			})
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(corridors, func(i, j int) bool { return corridors[i].flow > corridors[j].flow })
+	fmt.Println("\nbusiest relay corridors (top-1 instance per structural match):")
+	for i := 0; i < len(corridors) && i < 5; i++ {
+		fmt.Printf("  %v relayed %.0f passengers within %ds\n", corridors[i].zones, corridors[i].flow, delta)
+	}
+
+	// Per-window top-1 on the single busiest corridor: when does it peak?
+	if len(corridors) > 0 {
+		best := corridors[0]
+		fmt.Printf("\npeak windows of corridor %v:\n", best.zones)
+		type peak struct {
+			start int64
+			flow  float64
+		}
+		var peaks []peak
+		err = flowmotif.TopOnePerWindow(g, chain, delta, func(mt *flowmotif.Match, ts int64, flow float64) {
+			if flow <= 0 {
+				return
+			}
+			for i := range mt.Nodes {
+				if mt.Nodes[i] != best.zones[i] {
+					return
+				}
+			}
+			peaks = append(peaks, peak{ts, flow})
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sort.Slice(peaks, func(i, j int) bool { return peaks[i].flow > peaks[j].flow })
+		for i := 0; i < len(peaks) && i < 3; i++ {
+			day := peaks[i].start / 86400
+			hhmm := peaks[i].start % 86400
+			fmt.Printf("  day %d %02d:%02d — %.0f passengers\n", day+1, hhmm/3600, (hhmm%3600)/60, peaks[i].flow)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Socialburst analyzes a facebook-like interaction network (the paper's
+// second dataset): chains of high-intensity interaction within minutes are
+// influence-propagation signatures. The example streams instances instead
+// of materializing them, works on bucketed (tied) timestamps, and compares
+// the significance of chain versus cycle motifs — the paper found chains
+// dominate on Facebook (propagation trees), unlike the money networks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowmotif"
+)
+
+func main() {
+	events, err := flowmotif.GenerateFacebook(flowmotif.FacebookConfig{
+		Nodes:    1200,
+		Bursts:   5000,
+		Cascades: 3500,
+		Duration: 45 * 24 * 3600,
+		Seed:     2015,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := flowmotif.NewGraph(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("interaction network: %d users, %d pairs, %d bucketed interactions (avg %.2f per bucket)\n",
+		st.Nodes, st.ConnectedPairs, st.Events, st.AvgFlow)
+
+	p := flowmotif.Params{Delta: 600, Phi: 3}
+
+	// Stream instances of the reshare-chain motif, tracking the most
+	// active propagation path without keeping the full result set.
+	chain, _ := flowmotif.ParseMotif("M(4,3)")
+	var (
+		count   int64
+		hottest *flowmotif.Instance
+	)
+	_, err = flowmotif.EnumerateInstances(g, chain, p, func(in *flowmotif.Instance) bool {
+		count++
+		if hottest == nil || in.Flow > hottest.Flow {
+			hottest = in
+		}
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d propagation chains %v at δ=%ds, φ=%g\n", count, chain, p.Delta, p.Phi)
+	if hottest != nil {
+		fmt.Printf("hottest chain: users %v relayed %g interactions/bucket for %ds\n",
+			hottest.Nodes, hottest.Flow, hottest.End-hottest.Start)
+	}
+
+	// Chains vs cycles: which pattern is the real signature of this
+	// network? (Figure 14's per-network contrast.)
+	fmt.Println("\nsignificance vs flow-permuted null (10 runs):")
+	for _, name := range []string{"M(3,2)", "M(4,3)", "M(3,3)", "M(4,4)A"} {
+		mo, _ := flowmotif.ParseMotif(name)
+		res, err := flowmotif.Significance(g, mo, p,
+			flowmotif.SignificanceConfig{Runs: 10, Seed: 99, Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "chain"
+		if mo.IsCyclic() {
+			kind = "cycle"
+		}
+		fmt.Printf("  %-8s (%s): real=%-6d random=%.1f±%.1f  z=%.1f\n",
+			name, kind, res.Real, res.Mean, res.Std, res.ZScore)
+	}
+}

@@ -1,0 +1,233 @@
+// Package flowmotif finds network flow motifs in temporal interaction
+// networks, implementing the algorithms of Kosyfaki, Mamoulis, Pitoura and
+// Tsaparas, "Flow Motifs in Interaction Networks", EDBT 2019
+// (arXiv:1810.08408).
+//
+// An interaction network is a directed multigraph whose edges carry a
+// timestamp and a positive flow value (money, messages, passengers, ...).
+// A flow motif M = (GM, δ, φ) is a small directed graph whose edges form a
+// totally ordered spanning path; an instance of M maps every motif edge to
+// a non-empty *set* of network edges between the same node pair such that
+// the sets respect the order, everything happens within a window of
+// duration δ, and every set aggregates at least φ units of flow. The
+// library enumerates all maximal instances, finds the top-k instances by
+// flow, computes the top-1 via dynamic programming, and measures motif
+// significance against flow-permuted null models.
+//
+// # Quick start
+//
+//	g, err := flowmotif.NewGraph([]flowmotif.Event{
+//		{From: 0, To: 1, T: 10, F: 5},
+//		{From: 1, To: 2, T: 12, F: 4},
+//		{From: 2, To: 0, T: 15, F: 6},
+//	})
+//	if err != nil { ... }
+//	tri, _ := flowmotif.ParseMotif("M(3,3)") // triangle 0→1→2→0
+//	instances, err := flowmotif.FindInstances(g, tri, flowmotif.Params{Delta: 10, Phi: 3})
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// architecture and the paper-reproduction experiment index.
+package flowmotif
+
+import (
+	"flowmotif/internal/analytics"
+	"flowmotif/internal/core"
+	"flowmotif/internal/dataset"
+	"flowmotif/internal/gen"
+	"flowmotif/internal/match"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/signif"
+	"flowmotif/internal/temporal"
+)
+
+// Re-exported core types. The aliases make the internal implementation
+// packages usable through this single public import path.
+type (
+	// NodeID identifies a vertex of the interaction network.
+	NodeID = temporal.NodeID
+	// Event is one interaction: From sent F units of flow to To at time T.
+	Event = temporal.Event
+	// Point is one (t, f) element of an arc's interaction time series.
+	Point = temporal.Point
+	// Graph is the immutable time-series interaction graph GT.
+	Graph = temporal.Graph
+	// GraphStats summarizes a graph (the paper's Table 3 columns).
+	GraphStats = temporal.Stats
+	// Interner maps string node labels onto dense NodeIDs.
+	Interner = temporal.Interner
+
+	// Motif is a flow motif graph GM with its ordered spanning path.
+	Motif = motif.Motif
+
+	// Match is a structural match of a motif (phase P1 output).
+	Match = match.Match
+
+	// Params carries the δ/φ thresholds and execution options.
+	Params = core.Params
+	// Span is a contiguous edge-set within an arc's time series.
+	Span = core.Span
+	// Instance is one maximal flow-motif instance.
+	Instance = core.Instance
+	// EnumStats counts the work done by an enumeration.
+	EnumStats = core.EnumStats
+
+	// SignificanceConfig controls randomized significance evaluation.
+	SignificanceConfig = signif.Config
+	// SignificanceResult reports z-score, p-value and box-plot statistics.
+	SignificanceResult = signif.Result
+
+	// CSVOptions controls dataset parsing.
+	CSVOptions = dataset.CSVOptions
+
+	// MatchActivity aggregates the instances of one structural match.
+	MatchActivity = analytics.MatchActivity
+	// TimelineBucket aggregates instance activity within one time bucket.
+	TimelineBucket = analytics.TimelineBucket
+
+	// BitcoinConfig parameterizes the bitcoin-like dataset generator.
+	BitcoinConfig = gen.BitcoinConfig
+	// FacebookConfig parameterizes the facebook-like dataset generator.
+	FacebookConfig = gen.FacebookConfig
+	// PassengerConfig parameterizes the passenger-flow dataset generator.
+	PassengerConfig = gen.PassengerConfig
+)
+
+// NewGraph builds a time-series graph from events, inferring the node count.
+func NewGraph(events []Event) (*Graph, error) { return temporal.NewGraph(events) }
+
+// NewGraphWithNodes builds a graph over a fixed node universe 0..n-1.
+func NewGraphWithNodes(n int, events []Event) (*Graph, error) {
+	return temporal.NewGraphWithNodes(n, events)
+}
+
+// NewInterner returns an empty node-label interner.
+func NewInterner() *Interner { return temporal.NewInterner() }
+
+// ParseMotif builds a motif from "0-1-2-0", "chain4", "cycle3" or a catalog
+// name such as "M(4,4)B".
+func ParseMotif(s string) (*Motif, error) { return motif.Parse(s) }
+
+// MotifFromPath builds a motif from its spanning-path vertex sequence.
+func MotifFromPath(seq ...int) (*Motif, error) { return motif.FromPath(seq...) }
+
+// Chain returns the n-vertex chain motif.
+func Chain(n int) (*Motif, error) { return motif.Chain(n) }
+
+// Cycle returns the n-vertex cycle motif.
+func Cycle(n int) (*Motif, error) { return motif.Cycle(n) }
+
+// Catalog returns the paper's ten benchmark motifs (Figure 3).
+func Catalog() []*Motif { return motif.Catalog() }
+
+// StructuralMatches streams phase-P1 structural matches of mo in g. The
+// callback's Match is reused; clone it to retain. Returns the match count.
+func StructuralMatches(g *Graph, mo *Motif, fn func(*Match) bool) int64 {
+	return match.Stream(g, mo, fn)
+}
+
+// CountStructuralMatches counts phase-P1 matches (paper Table 4).
+func CountStructuralMatches(g *Graph, mo *Motif) int64 { return match.Count(g, mo) }
+
+// FindInstances returns every maximal instance of mo in g under p.
+// For very large result sets prefer EnumerateInstances.
+func FindInstances(g *Graph, mo *Motif, p Params) ([]*Instance, error) {
+	return core.Collect(g, mo, p, 0)
+}
+
+// EnumerateInstances streams maximal instances to visit (return false to
+// stop). With p.Workers > 1 the visitor must be concurrency-safe.
+func EnumerateInstances(g *Graph, mo *Motif, p Params, visit func(*Instance) bool) (EnumStats, error) {
+	return core.Enumerate(g, mo, p, visit)
+}
+
+// CountInstances counts maximal instances without materializing them.
+func CountInstances(g *Graph, mo *Motif, p Params) (int64, error) {
+	n, _, err := core.Count(g, mo, p)
+	return n, err
+}
+
+// TopK returns the k maximal instances with the highest flow under delta
+// (φ is replaced by the floating threshold of the paper's §5).
+func TopK(g *Graph, mo *Motif, delta int64, k int) ([]*Instance, error) {
+	res, _, err := core.TopK(g, mo, delta, k, 1)
+	return res, err
+}
+
+// TopOne returns the maximal instance with the highest flow (nil if none).
+func TopOne(g *Graph, mo *Motif, delta int64) (*Instance, error) {
+	in, _, err := core.TopOne(g, mo, delta, 1)
+	return in, err
+}
+
+// TopOneFlow computes the maximum instance flow with the paper's
+// dynamic-programming module (Algorithm 2), without materializing
+// instances. It returns 0 when the motif has no instance.
+func TopOneFlow(g *Graph, mo *Motif, delta int64) (float64, error) {
+	f, _, err := core.TopOneDPFast(g, mo, delta)
+	return f, err
+}
+
+// TopOneInstanceDP reconstructs an instance attaining the maximum flow via
+// DP backtracking (the instance is valid but not necessarily maximal).
+func TopOneInstanceDP(g *Graph, mo *Motif, delta int64) (float64, *Instance, error) {
+	return core.TopOneDPInstance(g, mo, delta)
+}
+
+// TopOnePerMatch reports the best instance flow per structural match
+// (paper §5.1 extensibility).
+func TopOnePerMatch(g *Graph, mo *Motif, delta int64, fn func(mt *Match, flow float64)) error {
+	return core.TopOnePerMatch(g, mo, delta, fn)
+}
+
+// TopOnePerWindow reports the best instance flow per window position
+// (paper §5.1 extensibility).
+func TopOnePerWindow(g *Graph, mo *Motif, delta int64, fn func(mt *Match, windowStart int64, flow float64)) error {
+	return core.TopOnePerWindow(g, mo, delta, fn)
+}
+
+// Validate checks an instance against Definition 3.2.
+func Validate(g *Graph, mo *Motif, delta int64, phi float64, in *Instance) error {
+	return core.Validate(g, mo, delta, phi, in)
+}
+
+// IsMaximal checks Definition 3.3, returning a reason when not maximal.
+func IsMaximal(g *Graph, mo *Motif, delta int64, in *Instance) (bool, string) {
+	return core.IsMaximal(g, mo, delta, in)
+}
+
+// GroupByMatch groups all maximal instances per structural match, ordered
+// by activity (the paper's §7 analysis of the most active vertex groups).
+func GroupByMatch(g *Graph, mo *Motif, p Params) ([]MatchActivity, error) {
+	return analytics.GroupByMatch(g, mo, p)
+}
+
+// InstanceTimeline histograms maximal instances by start time into dense
+// buckets of the given width (the paper's §7 activity-over-time analysis).
+func InstanceTimeline(g *Graph, mo *Motif, p Params, bucket int64) ([]TimelineBucket, error) {
+	return analytics.Timeline(g, mo, p, bucket)
+}
+
+// Significance evaluates mo against cfg.Runs flow-permuted null networks
+// (paper §6.3, Figure 14).
+func Significance(g *Graph, mo *Motif, p Params, cfg SignificanceConfig) (SignificanceResult, error) {
+	return signif.Evaluate(g, mo, p, cfg)
+}
+
+// GenerateBitcoin synthesizes a bitcoin-like interaction network.
+func GenerateBitcoin(cfg BitcoinConfig) ([]Event, error) { return gen.Bitcoin(cfg) }
+
+// GenerateFacebook synthesizes a facebook-like interaction network.
+func GenerateFacebook(cfg FacebookConfig) ([]Event, error) { return gen.Facebook(cfg) }
+
+// GeneratePassenger synthesizes a passenger-flow network.
+func GeneratePassenger(cfg PassengerConfig) ([]Event, error) { return gen.Passenger(cfg) }
+
+// LoadCSV reads a CSV/TSV dataset (from,to,time,flow per record).
+func LoadCSV(path string, opts CSVOptions) ([]Event, *Interner, error) {
+	return dataset.ReadCSVFile(path, opts)
+}
+
+// SaveCSV writes events as CSV; labels may be nil for numeric ids.
+func SaveCSV(path string, evs []Event, labels func(NodeID) string) error {
+	return dataset.WriteCSVFile(path, evs, labels)
+}

@@ -1,0 +1,214 @@
+package flowmotif
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// paperEvents is the running example of the paper (Figure 2).
+func paperEvents() []Event {
+	return []Event{
+		{From: 0, To: 1, T: 13, F: 5},
+		{From: 0, To: 1, T: 15, F: 7},
+		{From: 2, To: 0, T: 10, F: 10},
+		{From: 3, To: 0, T: 1, F: 2},
+		{From: 3, To: 0, T: 3, F: 5},
+		{From: 3, To: 2, T: 11, F: 10},
+		{From: 1, To: 2, T: 18, F: 20},
+		{From: 2, To: 3, T: 19, F: 5},
+		{From: 2, To: 3, T: 21, F: 4},
+		{From: 1, To: 3, T: 23, F: 7},
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := NewGraph(paperEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := ParseMotif("M(3,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's Figure 4(a): the only instance at δ=10, φ=7.
+	ins, err := FindInstances(g, tri, Params{Delta: 10, Phi: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Flow != 10 {
+		t.Fatalf("instances = %v", ins)
+	}
+	if err := Validate(g, tri, 10, 7, ins[0]); err != nil {
+		t.Error(err)
+	}
+	if ok, _ := IsMaximal(g, tri, 10, ins[0]); !ok {
+		t.Error("instance not maximal")
+	}
+
+	n, err := CountInstances(g, tri, Params{Delta: 10, Phi: 7})
+	if err != nil || n != 1 {
+		t.Errorf("CountInstances = %d, %v", n, err)
+	}
+
+	top, err := TopOne(g, tri, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top == nil || top.Flow != 10 {
+		t.Errorf("TopOne = %v", top)
+	}
+	dp, err := TopOneFlow(g, tri, 10)
+	if err != nil || math.Abs(dp-10) > 1e-12 {
+		t.Errorf("TopOneFlow = %v, %v", dp, err)
+	}
+	f, in, err := TopOneInstanceDP(g, tri, 10)
+	if err != nil || f != 10 || in == nil {
+		t.Errorf("TopOneInstanceDP = %v, %v, %v", f, in, err)
+	}
+
+	topk, err := TopK(g, tri, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk) == 0 || topk[0].Flow != 10 {
+		t.Errorf("TopK = %v", topk)
+	}
+
+	if got := CountStructuralMatches(g, tri); got != 6 {
+		t.Errorf("structural matches = %d, want 6", got)
+	}
+	streamed := int64(0)
+	StructuralMatches(g, tri, func(m *Match) bool { streamed++; return true })
+	if streamed != 6 {
+		t.Errorf("streamed matches = %d", streamed)
+	}
+}
+
+func TestPublicAPIMotifConstructors(t *testing.T) {
+	if m, err := Chain(4); err != nil || m.NumEdges() != 3 {
+		t.Errorf("Chain(4) = %v, %v", m, err)
+	}
+	if m, err := Cycle(5); err != nil || m.NumEdges() != 5 || !m.IsCyclic() {
+		t.Errorf("Cycle(5) = %v, %v", m, err)
+	}
+	if m, err := MotifFromPath(0, 1, 2, 3, 1); err != nil || m.Name() != "M(4,4)" {
+		t.Errorf("MotifFromPath = %v, %v", m, err)
+	}
+	if len(Catalog()) != 10 {
+		t.Error("catalog size wrong")
+	}
+}
+
+func TestPublicAPIGeneratorsAndIO(t *testing.T) {
+	evs, err := GenerateBitcoin(BitcoinConfig{Nodes: 200, SeedTxns: 500, Duration: 86400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEvents() < 500 {
+		t.Errorf("bitcoin events = %d", g.NumEvents())
+	}
+
+	fb, err := GenerateFacebook(FacebookConfig{Nodes: 100, Bursts: 200, Cascades: 100, Duration: 86400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) == 0 {
+		t.Error("facebook empty")
+	}
+	px, err := GeneratePassenger(PassengerConfig{Zones: 50, Trips: 500, Days: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(px) == 0 {
+		t.Error("passenger empty")
+	}
+
+	path := filepath.Join(t.TempDir(), "g.csv")
+	if err := SaveCSV(path, paperEvents(), nil); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := LoadCSV(path, CSVOptions{NumericIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(paperEvents()) {
+		t.Errorf("csv round trip: %d events", len(back))
+	}
+}
+
+func TestPublicAPISignificance(t *testing.T) {
+	evs, err := GenerateBitcoin(BitcoinConfig{Nodes: 150, SeedTxns: 1500, Duration: 7 * 86400, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// φ=5 is the dataset's paper-default threshold; at much lower φ nearly
+	// every event qualifies individually and the permuted null can match
+	// or beat the real count (cascade flows decay along chains).
+	mo, _ := ParseMotif("M(3,2)")
+	res, err := Significance(g, mo, Params{Delta: 600, Phi: 5}, SignificanceConfig{Runs: 5, Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RandomCounts) != 5 {
+		t.Errorf("runs = %d", len(res.RandomCounts))
+	}
+	// The cascade generator transfers flow along chains, so the real count
+	// must exceed the permuted mean (positive z-score).
+	if res.Real > 0 && res.ZScore <= 0 {
+		t.Errorf("z-score = %v (real=%d mean=%v); expected significance", res.ZScore, res.Real, res.Mean)
+	}
+}
+
+func TestPublicAPIAnalytics(t *testing.T) {
+	g, err := NewGraph(paperEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, _ := ParseMotif("M(3,3)")
+	acts, err := GroupByMatch(g, tri, Params{Delta: 10, Phi: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 || acts[0].Instances != 1 || acts[0].MaxFlow != 10 {
+		t.Errorf("GroupByMatch = %+v", acts)
+	}
+	tl, err := InstanceTimeline(g, tri, Params{Delta: 10, Phi: 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, b := range tl {
+		n += b.Instances
+	}
+	if n != 1 {
+		t.Errorf("timeline total = %d, want 1", n)
+	}
+}
+
+func TestPublicAPIPerMatchPerWindow(t *testing.T) {
+	g, err := NewGraph(paperEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, _ := ParseMotif("M(3,3)")
+	calls := 0
+	if err := TopOnePerMatch(g, tri, 10, func(mt *Match, flow float64) { calls++ }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Errorf("per-match calls = %d, want 6", calls)
+	}
+	if err := TopOnePerWindow(g, tri, 10, func(mt *Match, ts int64, flow float64) {}); err != nil {
+		t.Fatal(err)
+	}
+}

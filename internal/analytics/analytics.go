@@ -1,0 +1,146 @@
+// Package analytics implements the instance-distribution analyses the
+// paper sketches as future work (§7): grouping motif instances per
+// structural match to find the vertex groups with the largest activity,
+// and spreading activity along the timeline to find when it happens.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// MatchActivity aggregates the instances of one structural match.
+type MatchActivity struct {
+	Nodes      []temporal.NodeID // vertex binding of the match
+	Instances  int64             // maximal instances found
+	TotalFlow  float64           // sum of instance flows
+	MaxFlow    float64           // best single instance
+	FirstStart int64             // earliest instance start
+	LastEnd    int64             // latest instance end
+}
+
+// Key renders the binding as a map key / display string.
+func (a *MatchActivity) Key() string {
+	parts := make([]string, len(a.Nodes))
+	for i, n := range a.Nodes {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, "-")
+}
+
+// GroupByMatch enumerates all maximal instances of mo under p and groups
+// them per structural match, ordered by instance count (then total flow)
+// descending. Matches without instances are omitted.
+func GroupByMatch(g *temporal.Graph, mo *motif.Motif, p core.Params) ([]MatchActivity, error) {
+	byKey := map[string]*MatchActivity{}
+	p.Workers = 1 // deterministic aggregation
+	_, err := core.Enumerate(g, mo, p, func(in *core.Instance) bool {
+		k := fmt.Sprint(in.Nodes)
+		a := byKey[k]
+		if a == nil {
+			a = &MatchActivity{
+				Nodes:      append([]temporal.NodeID(nil), in.Nodes...),
+				FirstStart: in.Start,
+				LastEnd:    in.End,
+			}
+			byKey[k] = a
+		}
+		a.Instances++
+		a.TotalFlow += in.Flow
+		if in.Flow > a.MaxFlow {
+			a.MaxFlow = in.Flow
+		}
+		if in.Start < a.FirstStart {
+			a.FirstStart = in.Start
+		}
+		if in.End > a.LastEnd {
+			a.LastEnd = in.End
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MatchActivity, 0, len(byKey))
+	for _, a := range byKey {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Instances != out[j].Instances {
+			return out[i].Instances > out[j].Instances
+		}
+		if out[i].TotalFlow != out[j].TotalFlow {
+			return out[i].TotalFlow > out[j].TotalFlow
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out, nil
+}
+
+// TimelineBucket aggregates instance activity within one time bucket.
+type TimelineBucket struct {
+	Start     int64 // bucket start time (inclusive)
+	Instances int64
+	Flow      float64 // sum of instance flows starting in the bucket
+}
+
+// Timeline enumerates all maximal instances of mo under p and histograms
+// them by instance start time into buckets of the given width. Empty
+// buckets between the first and last active one are included, so the
+// result is a dense series suitable for plotting.
+func Timeline(g *temporal.Graph, mo *motif.Motif, p core.Params, bucket int64) ([]TimelineBucket, error) {
+	if bucket <= 0 {
+		return nil, fmt.Errorf("analytics: bucket width must be positive, got %d", bucket)
+	}
+	counts := map[int64]*TimelineBucket{}
+	p.Workers = 1
+	_, err := core.Enumerate(g, mo, p, func(in *core.Instance) bool {
+		b := in.Start - mod(in.Start, bucket)
+		tb := counts[b]
+		if tb == nil {
+			tb = &TimelineBucket{Start: b}
+			counts[b] = tb
+		}
+		tb.Instances++
+		tb.Flow += in.Flow
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) == 0 {
+		return nil, nil
+	}
+	lo, hi := int64(1)<<62, int64(-1)<<62
+	for b := range counts {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	out := make([]TimelineBucket, 0, (hi-lo)/bucket+1)
+	for b := lo; b <= hi; b += bucket {
+		if tb := counts[b]; tb != nil {
+			out = append(out, *tb)
+		} else {
+			out = append(out, TimelineBucket{Start: b})
+		}
+	}
+	return out, nil
+}
+
+// mod is a floored modulo, correct for negative timestamps.
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"flowmotif/internal/match"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// TopOneDP finds the maximum flow of any instance of mo in g under delta
+// using the paper's dynamic-programming module (Algorithm 2, §5.1),
+// faithfully implementing the O(τ²·m)-per-window recurrence of Equation 2.
+// It returns 0 when the motif has no instance.
+func TopOneDP(g *temporal.Graph, mo *motif.Motif, delta int64) (float64, EnumStats, error) {
+	return topOneDP(g, mo, fusedSource(g, mo, delta), delta, false, nil)
+}
+
+// TopOneDPFast is TopOneDP with an optimized inner maximization: for fixed
+// i, Flow([t1,t_{j-1}],κ-1) is non-decreasing in j while flow([t_j,t_i],κ)
+// is non-increasing, so the best split is found by binary search, giving
+// O(τ log τ · m) per window. Results are identical to TopOneDP; the pair is
+// benchmarked as an ablation (see DESIGN.md §6).
+func TopOneDPFast(g *temporal.Graph, mo *motif.Motif, delta int64) (float64, EnumStats, error) {
+	return topOneDP(g, mo, fusedSource(g, mo, delta), delta, true, nil)
+}
+
+// TopOneDPMatches runs the DP module over pre-collected structural matches
+// (phase-P2-only instrumented mode, used for Figure 12 timings).
+func TopOneDPMatches(g *temporal.Graph, mo *motif.Motif, matches []match.Match, delta int64, fast bool) (float64, EnumStats, error) {
+	return topOneDP(g, mo, sliceSource(matches), delta, fast, nil)
+}
+
+// TopOneDPInstance additionally reconstructs an instance attaining the
+// maximum flow by backtracking through the DP table (the bold cells of the
+// paper's Table 2). The returned instance is valid but not necessarily
+// maximal; its maximal extension attains the same flow. It returns a nil
+// instance when the motif has no instance.
+func TopOneDPInstance(g *temporal.Graph, mo *motif.Motif, delta int64) (float64, *Instance, error) {
+	var best *Instance
+	flow, _, err := topOneDP(g, mo, fusedSource(g, mo, delta), delta, false, func(in *Instance) {
+		best = in
+	})
+	return flow, best, err
+}
+
+// TopOnePerMatch reports the maximum instance flow for every structural
+// match Gs (the paper's §5.1 "Extensibility": comparing entity groups by
+// their max-flow interactions). fn receives 0 for matches without any
+// instance. Matches are visited in deterministic P1 order.
+func TopOnePerMatch(g *temporal.Graph, mo *motif.Motif, delta int64, fn func(mt *match.Match, flow float64)) error {
+	if delta < 0 {
+		return errors.New("core: Delta must be non-negative")
+	}
+	r := newDPRunner(g, mo, delta, true, nil)
+	match.Stream(g, mo, func(mt *match.Match) bool {
+		best := 0.0
+		r.run(mt, func(_ int64, f float64) {
+			if f > best {
+				best = f
+			}
+		})
+		fn(mt, best)
+		return true
+	})
+	return nil
+}
+
+// TopOnePerWindow reports the maximum instance flow for every processed
+// window position of every structural match (the paper's §5.1: comparing
+// interaction volume across time periods). fn receives the window start
+// time and the best flow in that window (windows with no instance are
+// reported with flow 0).
+func TopOnePerWindow(g *temporal.Graph, mo *motif.Motif, delta int64, fn func(mt *match.Match, windowStart int64, flow float64)) error {
+	if delta < 0 {
+		return errors.New("core: Delta must be non-negative")
+	}
+	r := newDPRunner(g, mo, delta, true, nil)
+	match.Stream(g, mo, func(mt *match.Match) bool {
+		r.run(mt, func(ts int64, f float64) { fn(mt, ts, f) })
+		return true
+	})
+	return nil
+}
+
+func topOneDP(g *temporal.Graph, mo *motif.Motif, src matchSource, delta int64, fast bool, onBest func(*Instance)) (float64, EnumStats, error) {
+	if delta < 0 {
+		return 0, EnumStats{}, errors.New("core: Delta must be non-negative")
+	}
+	r := newDPRunner(g, mo, delta, fast, onBest)
+	src(func(mt *match.Match) bool {
+		r.stats.Matches++
+		r.run(mt, nil)
+		return true
+	})
+	return r.best, r.stats, nil
+}
+
+// dpRunner executes Algorithm 2 per structural match, reusing scratch
+// buffers across windows and matches.
+type dpRunner struct {
+	g      *temporal.Graph
+	delta  int64
+	fast   bool
+	onBest func(*Instance) // non-nil enables backtracking
+
+	m      int
+	series [][]temporal.Point
+	arcs   []int
+	nodes  []temporal.NodeID
+	lb, ub []int
+
+	times   []int64     // merged event times of the current window
+	cums    [][]float64 // cums[κ][i]: flow of edge κ events in [t0, times[i]]
+	ptrs    [][]int32   // ptrs[κ][i]: series index after the last counted event
+	choices [][]int32   // choices[κ][i]: argmax split j (backtracking)
+	prev    []float64
+	cur     []float64
+
+	best  float64
+	stats EnumStats
+}
+
+func newDPRunner(g *temporal.Graph, mo *motif.Motif, delta int64, fast bool, onBest func(*Instance)) *dpRunner {
+	m := mo.NumEdges()
+	r := &dpRunner{
+		g:      g,
+		delta:  delta,
+		fast:   fast,
+		onBest: onBest,
+		m:      m,
+		series: make([][]temporal.Point, m),
+		lb:     make([]int, m),
+		ub:     make([]int, m),
+		cums:   make([][]float64, m),
+		ptrs:   make([][]int32, m),
+	}
+	if onBest != nil {
+		r.choices = make([][]int32, m)
+	}
+	return r
+}
+
+// run applies the DP to every window of one structural match. Each
+// processed window reports its best flow through report (if non-nil) and
+// updates the global best.
+func (r *dpRunner) run(mt *match.Match, report func(windowStart int64, flow float64)) {
+	m := r.m
+	for i := 0; i < m; i++ {
+		r.series[i] = r.g.Series(mt.Arcs[i])
+		r.lb[i] = 0
+		r.ub[i] = 0
+	}
+	r.arcs = mt.Arcs
+	r.nodes = mt.Nodes
+
+	s0 := r.series[0]
+	last := r.series[m-1]
+
+	// Same fast feasibility reject as the enumerator (see enumerate.go).
+	aStart := 0
+	lastT := last[len(last)-1].T
+	if m > 1 {
+		tprev := s0[0].T
+		for i := 1; i < m; i++ {
+			s := r.series[i]
+			idx := sort.Search(len(s), func(k int) bool { return s[k].T > tprev })
+			if idx == len(s) {
+				return
+			}
+			tprev = s[idx].T
+		}
+		aStart = sort.Search(len(s0), func(k int) bool { return s0[k].T+r.delta >= tprev })
+		if aStart == len(s0) {
+			return
+		}
+	}
+
+	for a := aStart; a < len(s0); a++ {
+		if m > 1 && s0[a].T >= lastT {
+			break
+		}
+		ts := s0[a].T
+		te := ts + r.delta
+		r.stats.Anchors++
+		for j := 1; j < m; j++ {
+			s := r.series[j]
+			for r.lb[j] < len(s) && s[r.lb[j]].T <= ts {
+				r.lb[j]++
+			}
+		}
+		for j := 0; j < m; j++ {
+			s := r.series[j]
+			for r.ub[j] < len(s) && s[r.ub[j]].T <= te {
+				r.ub[j]++
+			}
+		}
+		lbLast := r.lb[m-1]
+		if m == 1 {
+			lbLast = a
+		}
+		if r.ub[m-1] <= lbLast {
+			continue
+		}
+		// Same maximality skip rule as enumeration: any instance here has a
+		// superset (with at least the flow) in an earlier window.
+		if a > 0 && last[r.ub[m-1]-1].T <= s0[a-1].T+r.delta {
+			r.stats.WindowsSkipped++
+			continue
+		}
+		r.stats.WindowsProcessed++
+		flow := r.window(a, ts)
+		if report != nil {
+			report(ts, flow)
+		}
+	}
+}
+
+// window runs the DP recurrence on the window anchored at series-0 index a
+// and returns the best instance flow within it.
+func (r *dpRunner) window(a int, ts int64) float64 {
+	m := r.m
+
+	// Merge the in-window event times of all edges (ascending, deduped).
+	r.times = r.times[:0]
+	starts := make([]int, m) // reused small; m <= 16
+	for j := 0; j < m; j++ {
+		if j == 0 {
+			starts[j] = a
+		} else {
+			starts[j] = r.lb[j]
+		}
+	}
+	for {
+		bestT := int64(0)
+		bestJ := -1
+		for j := 0; j < m; j++ {
+			if starts[j] < r.ub[j] {
+				t := r.series[j][starts[j]].T
+				if bestJ == -1 || t < bestT {
+					bestT, bestJ = t, j
+				}
+			}
+		}
+		if bestJ == -1 {
+			break
+		}
+		if len(r.times) == 0 || r.times[len(r.times)-1] != bestT {
+			r.times = append(r.times, bestT)
+		}
+		starts[bestJ]++
+	}
+	tau := len(r.times)
+	if tau == 0 {
+		return 0
+	}
+
+	// Per-edge cumulative flows (and series pointers for backtracking).
+	for j := 0; j < m; j++ {
+		r.cums[j] = grow(r.cums[j], tau)
+		r.ptrs[j] = growI32(r.ptrs[j], tau)
+		lo := r.lb[j]
+		if j == 0 {
+			lo = a
+		}
+		p := lo
+		c := 0.0
+		for i := 0; i < tau; i++ {
+			for p < r.ub[j] && r.series[j][p].T <= r.times[i] {
+				c += r.series[j][p].F
+				p++
+			}
+			r.cums[j][i] = c
+			r.ptrs[j][i] = int32(p)
+		}
+	}
+
+	// κ = 1 (paper numbering): Flow([t1,ti],1) = flow([t1,ti],1).
+	r.prev = grow(r.prev, tau)
+	r.cur = grow(r.cur, tau)
+	copy(r.prev, r.cums[0][:tau])
+	if r.choices != nil {
+		for j := 0; j < m; j++ {
+			r.choices[j] = growI32(r.choices[j], tau)
+		}
+	}
+
+	// κ = 2..m: Equation 2.
+	for k := 1; k < m; k++ {
+		ck := r.cums[k]
+		for i := 0; i < tau; i++ {
+			best := 0.0
+			bestJ := int32(-1)
+			if r.fast {
+				// prev[j-1] is non-decreasing in j; ck[i]-ck[j-1] is
+				// non-increasing. Binary search the crossover.
+				lo, hi := 1, i // j range [1, i]
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if r.prev[mid-1] < ck[i]-ck[mid-1] {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				for _, j := range [2]int{lo - 1, lo} {
+					if j < 1 || j > i {
+						continue
+					}
+					v := minf(r.prev[j-1], ck[i]-ck[j-1])
+					if v > best {
+						best, bestJ = v, int32(j)
+					}
+				}
+			} else {
+				for j := 1; j <= i; j++ { // faithful O(τ) inner loop
+					v := minf(r.prev[j-1], ck[i]-ck[j-1])
+					if v > best {
+						best, bestJ = v, int32(j)
+					}
+				}
+			}
+			r.cur[i] = best
+			if r.choices != nil {
+				r.choices[k][i] = bestJ
+			}
+		}
+		r.prev, r.cur = r.cur, r.prev
+	}
+
+	flow := r.prev[tau-1]
+	if flow > r.best {
+		r.best = flow
+		if r.onBest != nil {
+			r.onBest(r.backtrack(a, tau))
+		}
+	}
+	return flow
+}
+
+// backtrack reconstructs the instance behind the best cell (κ=m, i=τ-1).
+func (r *dpRunner) backtrack(a, tau int) *Instance {
+	m := r.m
+	in := &Instance{
+		Nodes:     append([]temporal.NodeID(nil), r.nodes...),
+		Arcs:      append([]int(nil), r.arcs...),
+		Spans:     make([]Span, m),
+		EdgeFlows: make([]float64, m),
+	}
+	i := tau - 1
+	for k := m - 1; k >= 1; k-- {
+		j := int(r.choices[k][i])
+		// Edge k covers events in (times[j-1], times[i]].
+		start := r.ptrs[k][j-1]
+		end := r.ptrs[k][i]
+		in.Spans[k] = Span{Start: start, End: end}
+		i = j - 1
+	}
+	lo := int32(a)
+	in.Spans[0] = Span{Start: lo, End: r.ptrs[0][i]}
+
+	minFlow := 0.0
+	for k := 0; k < m; k++ {
+		f := r.g.FlowRange(r.arcs[k], int(in.Spans[k].Start), int(in.Spans[k].End))
+		in.EdgeFlows[k] = f
+		if k == 0 || f < minFlow {
+			minFlow = f
+		}
+	}
+	in.Flow = minFlow
+	in.Start = r.series[0][in.Spans[0].Start].T
+	in.End = r.series[m-1][in.Spans[m-1].End-1].T
+	return in
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

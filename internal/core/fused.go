@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sort"
+
+	"flowmotif/internal/match"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// fusedSource streams structural matches with temporal-feasibility pruning
+// folded into the DFS walk: while extending the spanning path it maintains,
+// for the arcs chosen so far, the earliest anchor (event of the first arc)
+// from which a strictly-increasing chain of events fits inside a duration-δ
+// window. A subtree is abandoned as soon as no such anchored chain exists —
+// a necessary condition for any instance over any completion of the prefix,
+// since every instance contains a time-respecting chain starting at its
+// window anchor.
+//
+// This realizes the paper's future-work direction (§7) of processing
+// structural matches with shared prefixes together: on hub-heavy graphs the
+// vast majority of structural matches are temporally dead, and whole DFS
+// subtrees of them are skipped at once. Streaming searches use this source;
+// instrumented phase-separated runs use the pure matcher (package match).
+func fusedSource(g *temporal.Graph, mo *motif.Motif, delta int64) matchSource {
+	return func(fn match.Visitor) {
+		d := newFusedDFS(g, mo, delta)
+		for u := temporal.NodeID(0); int(u) < g.NumNodes(); u++ {
+			if !d.from(u, fn) {
+				return
+			}
+		}
+	}
+}
+
+// fusedFrom walks matches rooted at one start node (parallel sharding).
+func fusedFrom(g *temporal.Graph, mo *motif.Motif, delta int64, start temporal.NodeID, fn match.Visitor) bool {
+	return newFusedDFS(g, mo, delta).from(start, fn)
+}
+
+type fusedDFS struct {
+	g     *temporal.Graph
+	delta int64
+	path  []int
+	numV  int
+	bind  []temporal.NodeID
+	bound []bool
+	m     match.Match
+
+	series    [][]temporal.Point // series of the arcs chosen so far
+	chainT    []int64            // greedy chain time after each chosen edge
+	anchorIdx int                // current anchor position in series[0]
+	savedA    []int              // per-level anchor snapshots
+	savedT    [][]int64          // per-level chain snapshots
+}
+
+func newFusedDFS(g *temporal.Graph, mo *motif.Motif, delta int64) *fusedDFS {
+	numV := mo.NumVertices()
+	edges := mo.NumEdges()
+	d := &fusedDFS{
+		g:      g,
+		delta:  delta,
+		path:   mo.Path(),
+		numV:   numV,
+		bind:   make([]temporal.NodeID, numV),
+		bound:  make([]bool, numV),
+		series: make([][]temporal.Point, edges),
+		chainT: make([]int64, edges),
+		savedA: make([]int, edges+1),
+		savedT: make([][]int64, edges+1),
+		m: match.Match{
+			Nodes: make([]temporal.NodeID, numV),
+			Arcs:  make([]int, edges),
+		},
+	}
+	for i := range d.savedT {
+		d.savedT[i] = make([]int64, edges)
+	}
+	return d
+}
+
+func (d *fusedDFS) from(start temporal.NodeID, fn match.Visitor) bool {
+	d.bind[d.path[0]] = start
+	d.bound[d.path[0]] = true
+	ok := d.extend(1, start, fn)
+	d.bound[d.path[0]] = false
+	return ok
+}
+
+func (d *fusedDFS) extend(pos int, cur temporal.NodeID, fn match.Visitor) bool {
+	if pos == len(d.path) {
+		copy(d.m.Nodes, d.bind)
+		return fn(&d.m)
+	}
+	// Snapshot the anchored-chain state: feasibility checks for one child
+	// may advance the anchor, which must not leak to its siblings.
+	d.savedA[pos] = d.anchorIdx
+	copy(d.savedT[pos][:pos-1], d.chainT[:pos-1])
+
+	restore := func() {
+		d.anchorIdx = d.savedA[pos]
+		copy(d.chainT[:pos-1], d.savedT[pos][:pos-1])
+	}
+
+	tv := d.path[pos]
+	if d.bound[tv] {
+		w := d.bind[tv]
+		arc, ok := d.g.FindArc(cur, w)
+		if !ok {
+			return true
+		}
+		restore()
+		if !d.feasible(pos, arc) {
+			return true
+		}
+		d.m.Arcs[pos-1] = arc
+		return d.extend(pos+1, w, fn)
+	}
+	lo, hi := d.g.OutArcs(cur)
+	for a := lo; a < hi; a++ {
+		w := d.g.ArcTarget(a)
+		if d.used(w) {
+			continue
+		}
+		restore()
+		if !d.feasible(pos, a) {
+			continue
+		}
+		d.bind[tv] = w
+		d.bound[tv] = true
+		d.m.Arcs[pos-1] = a
+		ok := d.extend(pos+1, w, fn)
+		d.bound[tv] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// feasible extends the anchored greedy chain through arc as motif edge
+// pos-1, advancing the anchor (and re-chasing the prefix) when the chain
+// overflows the δ window. Returns false when no anchor admits a chain.
+func (d *fusedDFS) feasible(pos int, arc int) bool {
+	s := d.g.Series(arc)
+	d.series[pos-1] = s
+	if pos == 1 {
+		d.anchorIdx = 0
+		d.chainT[0] = s[0].T
+		return true
+	}
+	s0 := d.series[0]
+	for {
+		prev := d.chainT[pos-2]
+		idx := sort.Search(len(s), func(k int) bool { return s[k].T > prev })
+		if idx == len(s) {
+			// No event of this arc after the chain at all; later anchors
+			// only push the chain further right.
+			return false
+		}
+		if s[idx].T <= s0[d.anchorIdx].T+d.delta {
+			d.chainT[pos-1] = s[idx].T
+			return true
+		}
+		// Window overflow: advance the anchor and re-chase the prefix.
+		if !d.advanceAnchor(pos) {
+			return false
+		}
+	}
+}
+
+// advanceAnchor moves to the next anchor whose greedy prefix chain (edges
+// 0..pos-2) fits in the δ window, rebuilding chainT. Returns false when the
+// anchors are exhausted or some prefix arc has no event left.
+func (d *fusedDFS) advanceAnchor(pos int) bool {
+	s0 := d.series[0]
+anchors:
+	for {
+		d.anchorIdx++
+		if d.anchorIdx >= len(s0) {
+			return false
+		}
+		anchorT := s0[d.anchorIdx].T
+		t := anchorT
+		d.chainT[0] = t
+		for i := 1; i < pos-1; i++ {
+			si := d.series[i]
+			j := sort.Search(len(si), func(k int) bool { return si[k].T > t })
+			if j == len(si) {
+				return false // no event after t on a prefix arc: hopeless
+			}
+			t = si[j].T
+			if t > anchorT+d.delta {
+				continue anchors // this anchor's window overflows already
+			}
+			d.chainT[i] = t
+		}
+		return true
+	}
+}
+
+func (d *fusedDFS) used(w temporal.NodeID) bool {
+	for v := 0; v < d.numV; v++ {
+		if d.bound[v] && d.bind[v] == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// Validate checks an instance against Definition 3.2 of the paper: correct
+// structure (injective vertex binding, arcs matching the motif edges),
+// non-empty contiguous edge-sets, strict temporal ordering between
+// consecutive edge-sets, global duration within delta, and per-edge-set
+// aggregated flow of at least phi. It returns nil if the instance is valid.
+func Validate(g *temporal.Graph, mo *motif.Motif, delta int64, phi float64, in *Instance) error {
+	m := mo.NumEdges()
+	if len(in.Nodes) != mo.NumVertices() || len(in.Arcs) != m || len(in.Spans) != m {
+		return fmt.Errorf("core: instance shape mismatch (nodes=%d arcs=%d spans=%d)", len(in.Nodes), len(in.Arcs), len(in.Spans))
+	}
+	for i := 0; i < len(in.Nodes); i++ {
+		for j := i + 1; j < len(in.Nodes); j++ {
+			if in.Nodes[i] == in.Nodes[j] {
+				return fmt.Errorf("core: vertex binding not injective (%d and %d both map to %d)", i, j, in.Nodes[i])
+			}
+		}
+	}
+	var prevLast int64
+	minT := int64(math.MaxInt64)
+	maxT := int64(math.MinInt64)
+	minFlow := math.Inf(1)
+	for i := 0; i < m; i++ {
+		src := in.Nodes[mo.EdgeSource(i)]
+		dst := in.Nodes[mo.EdgeTarget(i)]
+		arc := in.Arcs[i]
+		if g.ArcSource(arc) != src || g.ArcTarget(arc) != dst {
+			return fmt.Errorf("core: edge %d arc (%d→%d) does not connect bound nodes (%d→%d)",
+				i, g.ArcSource(arc), g.ArcTarget(arc), src, dst)
+		}
+		sp := in.Spans[i]
+		s := g.Series(arc)
+		if sp.Start < 0 || int(sp.End) > len(s) || sp.Start >= sp.End {
+			return fmt.Errorf("core: edge %d span [%d,%d) invalid for series of length %d", i, sp.Start, sp.End, len(s))
+		}
+		first, lastT := s[sp.Start].T, s[sp.End-1].T
+		if i > 0 && first <= prevLast {
+			return fmt.Errorf("core: edge %d starts at %d, not strictly after previous edge-set end %d", i, first, prevLast)
+		}
+		prevLast = lastT
+		if first < minT {
+			minT = first
+		}
+		if lastT > maxT {
+			maxT = lastT
+		}
+		f := g.FlowRange(arc, int(sp.Start), int(sp.End))
+		if f < phi {
+			return fmt.Errorf("core: edge %d flow %.6g below phi %.6g", i, f, phi)
+		}
+		if len(in.EdgeFlows) == m && math.Abs(in.EdgeFlows[i]-f) > 1e-9 {
+			return fmt.Errorf("core: edge %d recorded flow %.6g != actual %.6g", i, in.EdgeFlows[i], f)
+		}
+		if f < minFlow {
+			minFlow = f
+		}
+	}
+	if maxT-minT > delta {
+		return fmt.Errorf("core: duration %d exceeds delta %d", maxT-minT, delta)
+	}
+	if math.Abs(in.Flow-minFlow) > 1e-9 {
+		return fmt.Errorf("core: recorded flow %.6g != min edge flow %.6g", in.Flow, minFlow)
+	}
+	if in.Start != minT || in.End != maxT {
+		return fmt.Errorf("core: recorded span [%d,%d] != actual [%d,%d]", in.Start, in.End, minT, maxT)
+	}
+	return nil
+}
+
+// IsMaximal checks Definition 3.3: no single event from any edge's series
+// can be added to its edge-set without violating the duration constraint or
+// the strict inter-edge-set ordering (added events can only increase flows,
+// so φ never blocks an extension). It returns false with a human-readable
+// reason naming the first extension found.
+//
+// Because maximal edge-sets are contiguous, only the events immediately
+// before Span.Start and at Span.End need checking: if a farther event were
+// addable, the nearer one would be too.
+func IsMaximal(g *temporal.Graph, mo *motif.Motif, delta int64, in *Instance) (bool, string) {
+	m := mo.NumEdges()
+	for i := 0; i < m; i++ {
+		s := g.Series(in.Arcs[i])
+		sp := in.Spans[i]
+		// Backward extension by the event just before the edge-set.
+		if sp.Start > 0 {
+			x := s[sp.Start-1]
+			ok := true
+			if i > 0 {
+				prev := g.Series(in.Arcs[i-1])
+				prevLast := prev[in.Spans[i-1].End-1].T
+				if x.T <= prevLast {
+					ok = false // would break strict ordering with edge i-1
+				}
+			}
+			if ok && in.End-x.T > delta {
+				ok = false // would break the duration constraint
+			}
+			if ok {
+				return false, fmt.Sprintf("edge %d extendable backwards with event at t=%d", i, x.T)
+			}
+		}
+		// Forward extension by the event just after the edge-set.
+		if int(sp.End) < len(s) {
+			x := s[sp.End]
+			ok := true
+			if i+1 < m {
+				next := g.Series(in.Arcs[i+1])
+				nextFirst := next[in.Spans[i+1].Start].T
+				if x.T >= nextFirst {
+					ok = false // would break strict ordering with edge i+1
+				}
+			}
+			if ok && x.T-in.Start > delta {
+				ok = false
+			}
+			if ok {
+				return false, fmt.Sprintf("edge %d extendable forwards with event at t=%d", i, x.T)
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,245 @@
+// Package dataset loads and saves interaction networks. Two formats are
+// supported:
+//
+//   - CSV/TSV with one interaction per record (from, to, time, flow), the
+//     lingua franca of public interaction-network dumps (bitcoin user
+//     graphs, communication logs, trip records);
+//   - a compact little-endian binary snapshot for fast reloads of large
+//     generated datasets.
+//
+// CSV node identifiers may be arbitrary strings (bitcoin addresses, zone
+// codes); they are interned onto dense NodeIDs and the mapping is returned
+// alongside the events.
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"flowmotif/internal/temporal"
+)
+
+// CSVOptions controls parsing.
+type CSVOptions struct {
+	// Comma is the field separator (default ',', use '\t' for TSV).
+	Comma rune
+	// HasHeader skips the first record.
+	HasHeader bool
+	// NumericIDs parses node ids as integers instead of interning strings;
+	// the returned Interner is nil in that case.
+	NumericIDs bool
+}
+
+// ReadCSV parses records of the form from,to,time,flow.
+func ReadCSV(r io.Reader, opts CSVOptions) ([]temporal.Event, *temporal.Interner, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = 4
+
+	var in *temporal.Interner
+	if !opts.NumericIDs {
+		in = temporal.NewInterner()
+	}
+	var evs []temporal.Event
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: %w", err)
+		}
+		line++
+		if opts.HasHeader && line == 1 {
+			continue
+		}
+		var from, to temporal.NodeID
+		if opts.NumericIDs {
+			f64, err := strconv.ParseInt(rec[0], 10, 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: record %d: bad from id %q", line, rec[0])
+			}
+			t64, err := strconv.ParseInt(rec[1], 10, 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: record %d: bad to id %q", line, rec[1])
+			}
+			from, to = temporal.NodeID(f64), temporal.NodeID(t64)
+		} else {
+			from, to = in.ID(rec[0]), in.ID(rec[1])
+		}
+		t, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: record %d: bad timestamp %q", line, rec[2])
+		}
+		f, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: record %d: bad flow %q", line, rec[3])
+		}
+		evs = append(evs, temporal.Event{From: from, To: to, T: t, F: f})
+	}
+	return evs, in, nil
+}
+
+// WriteCSV writes events as from,to,time,flow records. If labels is
+// non-nil it translates node ids back to strings.
+func WriteCSV(w io.Writer, evs []temporal.Event, labels func(temporal.NodeID) string) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 4)
+	for _, e := range evs {
+		if labels != nil {
+			rec[0], rec[1] = labels(e.From), labels(e.To)
+		} else {
+			rec[0] = strconv.FormatInt(int64(e.From), 10)
+			rec[1] = strconv.FormatInt(int64(e.To), 10)
+		}
+		rec[2] = strconv.FormatInt(e.T, 10)
+		rec[3] = strconv.FormatFloat(e.F, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVFile loads a CSV/TSV file (separator inferred from the extension:
+// ".tsv" uses tabs).
+func ReadCSVFile(path string, opts CSVOptions) ([]temporal.Event, *temporal.Interner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if opts.Comma == 0 && len(path) > 4 && path[len(path)-4:] == ".tsv" {
+		opts.Comma = '\t'
+	}
+	return ReadCSV(bufio.NewReaderSize(f, 1<<20), opts)
+}
+
+// WriteCSVFile saves events to a CSV file.
+func WriteCSVFile(path string, evs []temporal.Event, labels func(temporal.NodeID) string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := WriteCSV(w, evs, labels); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+var binMagic = [4]byte{'F', 'M', 'G', '1'}
+
+// WriteBinary writes events in the compact binary snapshot format.
+func WriteBinary(w io.Writer, evs []temporal.Event) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(evs))); err != nil {
+		return err
+	}
+	for i := range evs {
+		e := &evs[i]
+		if err := binary.Write(bw, binary.LittleEndian, int32(e.From)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int32(e.To)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.T); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.F); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a binary snapshot.
+func ReadBinary(r io.Reader) ([]temporal.Event, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if magic != binMagic {
+		return nil, errors.New("dataset: not a flowmotif binary snapshot")
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	const maxEvents = 1 << 31
+	if n > maxEvents {
+		return nil, fmt.Errorf("dataset: implausible event count %d", n)
+	}
+	evs := make([]temporal.Event, n)
+	for i := range evs {
+		var from, to int32
+		if err := binary.Read(br, binary.LittleEndian, &from); err != nil {
+			return nil, fmt.Errorf("dataset: truncated at event %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &to); err != nil {
+			return nil, fmt.Errorf("dataset: truncated at event %d: %w", i, err)
+		}
+		evs[i].From, evs[i].To = temporal.NodeID(from), temporal.NodeID(to)
+		if err := binary.Read(br, binary.LittleEndian, &evs[i].T); err != nil {
+			return nil, fmt.Errorf("dataset: truncated at event %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &evs[i].F); err != nil {
+			return nil, fmt.Errorf("dataset: truncated at event %d: %w", i, err)
+		}
+	}
+	return evs, nil
+}
+
+// WriteBinaryFile saves events to a binary snapshot file.
+func WriteBinaryFile(path string, evs []temporal.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, evs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile loads a binary snapshot file.
+func ReadBinaryFile(path string) ([]temporal.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// Load reads a dataset choosing the format by extension: ".bin" snapshots,
+// anything else CSV/TSV with numeric ids unless opts say otherwise.
+func Load(path string, opts CSVOptions) ([]temporal.Event, *temporal.Interner, error) {
+	if len(path) > 4 && path[len(path)-4:] == ".bin" {
+		evs, err := ReadBinaryFile(path)
+		return evs, nil, err
+	}
+	return ReadCSVFile(path, opts)
+}

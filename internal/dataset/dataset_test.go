@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flowmotif/internal/temporal"
+)
+
+var sample = []temporal.Event{
+	{From: 0, To: 1, T: 13, F: 5},
+	{From: 0, To: 1, T: 15, F: 7.25},
+	{From: 2, To: 0, T: 10, F: 10},
+}
+
+func TestCSVRoundTripNumeric(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample, nil); err != nil {
+		t.Fatal(err)
+	}
+	evs, in, err := ReadCSV(&buf, CSVOptions{NumericIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != nil {
+		t.Error("interner returned for numeric ids")
+	}
+	if !reflect.DeepEqual(evs, sample) {
+		t.Errorf("round trip = %v, want %v", evs, sample)
+	}
+}
+
+func TestCSVStringInterning(t *testing.T) {
+	src := "addrA,addrB,100,2.5\naddrB,addrC,110,3\naddrA,addrC,120,1\n"
+	evs, in, err := ReadCSV(strings.NewReader(src), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil || in.Len() != 3 {
+		t.Fatalf("interner len = %v", in)
+	}
+	if evs[0].From != evs[2].From {
+		t.Error("addrA interned to different ids")
+	}
+	if in.Label(evs[1].To) != "addrC" {
+		t.Errorf("label = %q", in.Label(evs[1].To))
+	}
+	// Write back with labels and re-read.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, evs, in.Label); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "addrA,addrB,100,2.5") {
+		t.Errorf("labelled output wrong:\n%s", buf.String())
+	}
+}
+
+func TestCSVHeaderAndTSV(t *testing.T) {
+	src := "from\tto\ttime\tflow\n1\t2\t100\t4\n"
+	evs, _, err := ReadCSV(strings.NewReader(src), CSVOptions{Comma: '\t', HasHeader: true, NumericIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].From != 1 || evs[0].F != 4 {
+		t.Errorf("evs = %v", evs)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2,xx,4\n", // bad timestamp
+		"1,2,3\n",    // short record
+		"1,2,3,zz\n", // bad flow
+		"x1,2,3,4\n", // bad numeric id
+		"1,y2,3,4\n", // bad numeric id (to)
+	}
+	for _, c := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(c), CSVOptions{NumericIDs: true}); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, sample) {
+		t.Errorf("round trip = %v, want %v", evs, sample)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("FMG1"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestFileRoundTripsAndLoad(t *testing.T) {
+	dir := t.TempDir()
+
+	csvPath := filepath.Join(dir, "g.csv")
+	if err := WriteCSVFile(csvPath, sample, nil); err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := Load(csvPath, CSVOptions{NumericIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, sample) {
+		t.Error("csv file round trip failed")
+	}
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := WriteBinaryFile(binPath, sample); err != nil {
+		t.Fatal(err)
+	}
+	evs2, _, err := Load(binPath, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs2, sample) {
+		t.Error("binary file round trip failed")
+	}
+
+	if _, _, err := Load(filepath.Join(dir, "missing.csv"), CSVOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGraphFromCSV(t *testing.T) {
+	src := "a,b,1,2\nb,c,2,3\n"
+	evs, _, err := ReadCSV(strings.NewReader(src), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumArcs() != 2 {
+		t.Errorf("graph = %v", g)
+	}
+}

@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"testing"
+
+	"flowmotif/internal/temporal"
+)
+
+func buildGraph(t *testing.T, evs []temporal.Event, err error) *temporal.Graph {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatalf("generated events rejected by graph builder: %v", err)
+	}
+	return g
+}
+
+func TestBitcoinDeterministicAndValid(t *testing.T) {
+	cfg := BitcoinConfig{Nodes: 500, SeedTxns: 2000, Duration: 7 * 24 * 3600, Seed: 1}
+	a, err := Bitcoin(cfg)
+	g := buildGraph(t, a, err)
+	b, err := Bitcoin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c, err := Bitcoin(BitcoinConfig{Nodes: 500, SeedTxns: 2000, Duration: 7 * 24 * 3600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		identical := true
+		for i := range a {
+			if a[i] != c[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+	// Shape checks.
+	if g.NumEvents() < cfg.SeedTxns {
+		t.Errorf("events %d < seed txns %d (cascades missing?)", g.NumEvents(), cfg.SeedTxns)
+	}
+	st := g.Stats()
+	if st.Nodes > cfg.Nodes {
+		t.Errorf("node universe exceeded: %d > %d", st.Nodes, cfg.Nodes)
+	}
+	if st.AvgFlow < 1.5 || st.AvgFlow > 20 {
+		t.Errorf("avg flow %v outside bitcoin-like range", st.AvgFlow)
+	}
+	minT, maxT := g.TimeSpan()
+	if minT < 0 || maxT >= cfg.Duration {
+		t.Errorf("time span [%d,%d] outside [0,%d)", minT, maxT, cfg.Duration)
+	}
+}
+
+func TestBitcoinCascadesCreateCorrelatedForwarding(t *testing.T) {
+	evs, err := Bitcoin(BitcoinConfig{Nodes: 300, SeedTxns: 3000, Duration: 30 * 24 * 3600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count events that forward flow received shortly before (within the
+	// cascade delay scale): these are what make flow motifs significant.
+	recentIn := map[temporal.NodeID]int64{}
+	forwards := 0
+	for _, e := range evs {
+		if tin, ok := recentIn[e.From]; ok && e.T-tin < 3600 && e.T > tin {
+			forwards++
+		}
+		recentIn[e.To] = e.T
+	}
+	if forwards < len(evs)/20 {
+		t.Errorf("only %d/%d events look like forwards; cascades too weak", forwards, len(evs))
+	}
+}
+
+func TestFacebookBucketsAndFlows(t *testing.T) {
+	cfg := FacebookConfig{Nodes: 400, Bursts: 1500, Cascades: 800, Duration: 30 * 24 * 3600, Seed: 4}
+	evs, err := Facebook(cfg)
+	g := buildGraph(t, evs, err)
+	for i, e := range evs {
+		if e.T%30 != 0 {
+			t.Fatalf("event %d timestamp %d not bucket-aligned", i, e.T)
+		}
+		if e.F != float64(int64(e.F)) || e.F < 1 {
+			t.Fatalf("event %d flow %v not a positive integer", i, e.F)
+		}
+	}
+	st := g.Stats()
+	if st.AvgFlow < 1 || st.AvgFlow > 6 {
+		t.Errorf("avg flow %v outside facebook-like range", st.AvgFlow)
+	}
+	// Multi-edge heavy: several events per connected pair on average.
+	if st.AvgSeriesLen < 1.2 {
+		t.Errorf("avg series length %v too low for facebook-like data", st.AvgSeriesLen)
+	}
+	// Ties must exist (30-second bucketing).
+	ties := false
+	for a := 0; a < g.NumArcs() && !ties; a++ {
+		s := g.Series(a)
+		for i := 1; i < len(s); i++ {
+			if s[i].T == s[i-1].T {
+				ties = true
+				break
+			}
+		}
+	}
+	if !ties {
+		t.Log("no tied timestamps found (unusual but not fatal at this size)")
+	}
+}
+
+func TestPassengerShape(t *testing.T) {
+	cfg := PassengerConfig{Zones: 100, Trips: 8000, Days: 7, Seed: 5}
+	evs, err := Passenger(cfg)
+	g := buildGraph(t, evs, err)
+	st := g.Stats()
+	if st.Nodes > cfg.Zones {
+		t.Errorf("zones exceeded: %d > %d", st.Nodes, cfg.Zones)
+	}
+	if st.AvgFlow < 1.2 || st.AvgFlow > 3 {
+		t.Errorf("avg passengers %v outside taxi-like range (paper: 1.93)", st.AvgFlow)
+	}
+	for i, e := range evs {
+		if e.F < 1 || e.F > 6 {
+			t.Fatalf("event %d passengers %v outside [1,6]", i, e.F)
+		}
+		if e.T < 0 || e.T >= int64(cfg.Days)*86400 {
+			t.Fatalf("event %d time %d outside horizon", i, e.T)
+		}
+	}
+	// Transfers create more events than seed trips.
+	if len(evs) <= cfg.Trips {
+		t.Errorf("no transfer chains: %d events for %d trips", len(evs), cfg.Trips)
+	}
+	// Diurnal profile: rush hours busier than night hours.
+	var byHour [24]int
+	for _, e := range evs {
+		byHour[(e.T%86400)/3600]++
+	}
+	if byHour[8] <= byHour[3] {
+		t.Errorf("hour 8 (%d) not busier than hour 3 (%d)", byHour[8], byHour[3])
+	}
+}
+
+func TestGeneratorConfigValidation(t *testing.T) {
+	if _, err := Bitcoin(BitcoinConfig{Nodes: 1, SeedTxns: 1, Duration: 1}); err == nil {
+		t.Error("Bitcoin accepted 1 node")
+	}
+	if _, err := Facebook(FacebookConfig{Nodes: 1, Duration: 1}); err == nil {
+		t.Error("Facebook accepted 1 node")
+	}
+	if _, err := Passenger(PassengerConfig{Zones: 1, Trips: 1, Days: 1}); err == nil {
+		t.Error("Passenger accepted 1 zone")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	if c := (BitcoinConfig{}).withDefaults(); c.Nodes == 0 || c.ForwardProb == 0 {
+		t.Error("bitcoin defaults missing")
+	}
+	if c := (FacebookConfig{}).withDefaults(); c.Bucket != 30 {
+		t.Errorf("facebook default bucket = %d, want 30", c.Bucket)
+	}
+	if c := (PassengerConfig{}).withDefaults(); c.Zones != 289 {
+		t.Errorf("passenger default zones = %d, want 289 (paper)", c.Zones)
+	}
+}

@@ -1,0 +1,216 @@
+// Package harness builds the three benchmark datasets at several scales and
+// implements one reproduction function per table and figure of the paper's
+// evaluation (§6). cmd/experiments and the repository-level benchmarks are
+// thin wrappers around this package; see DESIGN.md §6 for the experiment
+// index.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"flowmotif/internal/gen"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// Scale selects the dataset size. The paper ran city-scale data on a Xeon
+// server; Tiny is for unit tests, Small for `go test -bench`, Medium for
+// cmd/experiments (minutes), Large for scalability demonstrations.
+type Scale int
+
+const (
+	Tiny Scale = iota
+	Small
+	Medium
+	Large
+)
+
+// ParseScale converts a flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return Tiny, fmt.Errorf("harness: unknown scale %q (tiny|small|medium|large)", s)
+}
+
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return "unknown"
+}
+
+// Prefix is one time-prefix sample of a dataset (Figure 13's B1..B5,
+// F1..F5, T1..T4).
+type Prefix struct {
+	Label string
+	Frac  float64 // fraction of the covered time span
+}
+
+// Dataset bundles a benchmark graph with its paper-default parameters.
+type Dataset struct {
+	Name       string
+	G          *temporal.Graph
+	Delta      int64     // default duration constraint (paper §6.2)
+	Phi        float64   // default flow constraint
+	DeltaSweep []int64   // Figure 9 x-axis
+	PhiSweep   []float64 // Figure 10 x-axis
+	Prefixes   []Prefix  // Figure 13 samples
+}
+
+// PrefixGraph materializes one Figure-13 sample.
+func (d *Dataset) PrefixGraph(p Prefix) *temporal.Graph {
+	minT, maxT := d.G.TimeSpan()
+	cut := minT + int64(float64(maxT-minT)*p.Frac)
+	return d.G.PrefixByTime(cut)
+}
+
+// Motifs returns the benchmark motif catalog (Figure 3).
+func Motifs() []*motif.Motif { return motif.Catalog() }
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Dataset{}
+)
+
+// Bitcoin returns the bitcoin-like dataset at the given scale (cached).
+func Bitcoin(sc Scale) *Dataset {
+	return cached("bitcoin", sc, func() *Dataset {
+		cfg := gen.BitcoinConfig{Seed: 20140201}
+		switch sc {
+		case Tiny:
+			cfg.Nodes, cfg.SeedTxns, cfg.Duration = 300, 1500, 7*86400
+		case Small:
+			cfg.Nodes, cfg.SeedTxns, cfg.Duration = 4000, 15000, 30*86400
+		case Medium:
+			cfg.Nodes, cfg.SeedTxns, cfg.Duration = 30000, 90000, 90*86400
+		case Large:
+			cfg.Nodes, cfg.SeedTxns, cfg.Duration = 120000, 400000, 270*86400
+		}
+		evs, err := gen.Bitcoin(cfg)
+		if err != nil {
+			panic(err)
+		}
+		g, err := temporal.NewGraphWithNodes(cfg.Nodes, evs)
+		if err != nil {
+			panic(err)
+		}
+		return &Dataset{
+			Name:       "Bitcoin",
+			G:          g,
+			Delta:      600,
+			Phi:        5,
+			DeltaSweep: []int64{200, 400, 600, 800, 1000},
+			PhiSweep:   []float64{5, 10, 15, 20, 25},
+			Prefixes: []Prefix{ // B1..B5: first 1, 2, 4, 6, 9 ninths
+				{"B1", 1.0 / 9}, {"B2", 2.0 / 9}, {"B3", 4.0 / 9}, {"B4", 6.0 / 9}, {"B5", 1},
+			},
+		}
+	})
+}
+
+// Facebook returns the facebook-like dataset at the given scale (cached).
+func Facebook(sc Scale) *Dataset {
+	return cached("facebook", sc, func() *Dataset {
+		cfg := gen.FacebookConfig{Seed: 20150401}
+		switch sc {
+		case Tiny:
+			cfg.Nodes, cfg.Bursts, cfg.Cascades, cfg.Duration = 200, 800, 500, 14*86400
+		case Small:
+			cfg.Nodes, cfg.Bursts, cfg.Cascades, cfg.Duration = 1500, 6000, 4000, 60*86400
+		case Medium:
+			cfg.Nodes, cfg.Bursts, cfg.Cascades, cfg.Duration = 8000, 30000, 20000, 180*86400
+		case Large:
+			cfg.Nodes, cfg.Bursts, cfg.Cascades, cfg.Duration = 45800, 150000, 100000, 180*86400
+		}
+		evs, err := gen.Facebook(cfg)
+		if err != nil {
+			panic(err)
+		}
+		g, err := temporal.NewGraphWithNodes(cfg.Nodes, evs)
+		if err != nil {
+			panic(err)
+		}
+		return &Dataset{
+			Name:       "Facebook",
+			G:          g,
+			Delta:      600,
+			Phi:        3,
+			DeltaSweep: []int64{200, 400, 600, 800, 1000},
+			PhiSweep:   []float64{3, 5, 7, 9, 11},
+			Prefixes: []Prefix{ // F1..F5: first 1..4 and 6 sixths
+				{"F1", 1.0 / 6}, {"F2", 2.0 / 6}, {"F3", 3.0 / 6}, {"F4", 4.0 / 6}, {"F5", 1},
+			},
+		}
+	})
+}
+
+// Passenger returns the passenger-flow dataset at the given scale (cached).
+func Passenger(sc Scale) *Dataset {
+	return cached("passenger", sc, func() *Dataset {
+		cfg := gen.PassengerConfig{Seed: 20180101}
+		switch sc {
+		case Tiny:
+			cfg.Zones, cfg.Trips, cfg.Days = 60, 2500, 4
+		case Small:
+			cfg.Zones, cfg.Trips, cfg.Days = 150, 12000, 10
+		case Medium:
+			cfg.Zones, cfg.Trips, cfg.Days = 289, 45000, 31
+			cfg.Support = 7
+		case Large:
+			cfg.Zones, cfg.Trips, cfg.Days = 289, 200000, 31
+			cfg.Support = 8
+		}
+		evs, err := gen.Passenger(cfg)
+		if err != nil {
+			panic(err)
+		}
+		g, err := temporal.NewGraphWithNodes(cfg.Zones, evs)
+		if err != nil {
+			panic(err)
+		}
+		return &Dataset{
+			Name:       "Passenger",
+			G:          g,
+			Delta:      900,
+			Phi:        2,
+			DeltaSweep: []int64{300, 600, 900, 1200, 1500},
+			PhiSweep:   []float64{1, 2, 3, 4, 5},
+			Prefixes: []Prefix{ // T1..T4: first 8, 16, 24, 31 days
+				{"T1", 8.0 / 31}, {"T2", 16.0 / 31}, {"T3", 24.0 / 31}, {"T4", 1},
+			},
+		}
+	})
+}
+
+// All returns the three datasets at the given scale.
+func All(sc Scale) []*Dataset {
+	return []*Dataset{Bitcoin(sc), Facebook(sc), Passenger(sc)}
+}
+
+func cached(name string, sc Scale, build func() *Dataset) *Dataset {
+	key := fmt.Sprintf("%s/%s", name, sc)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if d, ok := cache[key]; ok {
+		return d
+	}
+	d := build()
+	cache[key] = d
+	return d
+}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flowmotif/internal/motif"
+)
+
+// tinyMotifs keeps harness tests quick while covering chains and cycles.
+func tinyMotifs() []*motif.Motif {
+	return []*motif.Motif{
+		motif.MustPath(0, 1, 2).Named("M(3,2)"),
+		motif.MustPath(0, 1, 2, 0).Named("M(3,3)"),
+	}
+}
+
+func TestDatasetsBuildAndCache(t *testing.T) {
+	for _, ds := range All(Tiny) {
+		if ds.G.NumEvents() == 0 {
+			t.Errorf("%s: empty graph", ds.Name)
+		}
+		if ds.Delta <= 0 || ds.Phi <= 0 {
+			t.Errorf("%s: defaults missing", ds.Name)
+		}
+		if len(ds.DeltaSweep) != 5 || len(ds.PhiSweep) != 5 {
+			t.Errorf("%s: sweep sizes wrong", ds.Name)
+		}
+		if len(ds.Prefixes) < 4 {
+			t.Errorf("%s: prefixes missing", ds.Name)
+		}
+	}
+	if Bitcoin(Tiny) != Bitcoin(Tiny) {
+		t.Error("dataset cache broken")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "medium", "large"} {
+		sc, err := ParseScale(s)
+		if err != nil || sc.String() != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s, sc, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestPrefixGraphMonotone(t *testing.T) {
+	ds := Passenger(Tiny)
+	prev := -1
+	for _, pf := range ds.Prefixes {
+		g := ds.PrefixGraph(pf)
+		if g.NumEvents() < prev {
+			t.Errorf("prefix %s shrank: %d < %d", pf.Label, g.NumEvents(), prev)
+		}
+		prev = g.NumEvents()
+	}
+	lastPf := ds.Prefixes[len(ds.Prefixes)-1]
+	if g := ds.PrefixGraph(lastPf); g.NumEvents() != ds.G.NumEvents() {
+		t.Errorf("full prefix %s has %d events, want %d", lastPf.Label, g.NumEvents(), ds.G.NumEvents())
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb := Table3(All(Tiny))
+	if len(tb.Rows) != 3 || len(tb.Header) != 5 {
+		t.Fatalf("table 3 shape: %dx%d", len(tb.Rows), len(tb.Header))
+	}
+	if !strings.Contains(tb.String(), "Bitcoin") {
+		t.Error("missing dataset row")
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
+		t.Errorf("csv lines = %d", lines)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tb := Table4(All(Tiny)[:1], tinyMotifs())
+	if len(tb.Rows) != 2 { // matches + time per dataset
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	n, err := strconv.ParseInt(tb.Rows[0][2], 10, 64)
+	if err != nil || n <= 0 {
+		t.Errorf("match count cell = %q", tb.Rows[0][2])
+	}
+}
+
+func TestFig8AgreementEnforced(t *testing.T) {
+	tb := Fig8(All(Tiny)[:1], tinyMotifs())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Instances column is the last; both algorithms agreed (no panic) and
+	// counted something.
+	if tb.Rows[0][5] == "0" && tb.Rows[1][5] == "0" {
+		t.Log("no instances at tiny scale (acceptable but worth knowing)")
+	}
+}
+
+func TestFig9Fig10Shapes(t *testing.T) {
+	ds := Facebook(Tiny)
+	ins, tim := Fig9(ds, tinyMotifs(), 2)
+	if len(ins.Rows) != len(ds.DeltaSweep) || len(tim.Rows) != len(ds.DeltaSweep) {
+		t.Fatalf("fig9 rows: %d, %d", len(ins.Rows), len(tim.Rows))
+	}
+	// Larger δ should never lose instances at fixed φ on these datasets.
+	first, _ := strconv.ParseInt(ins.Rows[0][1], 10, 64)
+	lastV, _ := strconv.ParseInt(ins.Rows[len(ins.Rows)-1][1], 10, 64)
+	if lastV < first {
+		t.Logf("fig9 instances not monotone (%d -> %d); possible but unusual", first, lastV)
+	}
+
+	ins10, tim10 := Fig10(ds, tinyMotifs(), 2)
+	if len(ins10.Rows) != len(ds.PhiSweep) || len(tim10.Rows) != len(ds.PhiSweep) {
+		t.Fatalf("fig10 rows: %d, %d", len(ins10.Rows), len(tim10.Rows))
+	}
+	// Instances must be non-increasing in φ (maximality is φ-independent;
+	// raising φ only filters instances).
+	var prev int64 = 1 << 62
+	for _, row := range ins10.Rows {
+		v, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[1])
+		}
+		if v > prev {
+			t.Errorf("fig10 instances increased with φ: %d -> %d", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tb := Fig11(Passenger(Tiny), tinyMotifs(), []int{1, 5, 10})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Flow of the k-th instance is non-increasing in k.
+	var prev = 1e300
+	for _, row := range tb.Rows {
+		if row[1] == "-" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[1])
+		}
+		if v > prev {
+			t.Errorf("fig11 flow increased with k: %v -> %v", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestFig12Agreement(t *testing.T) {
+	tb := Fig12(All(Tiny)[1:2], tinyMotifs())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The function panics internally on top-1 disagreement; reaching here
+	// means topk == dp == dpfast on all cells.
+}
+
+func TestFig13Shape(t *testing.T) {
+	ds := Passenger(Tiny)
+	ins, tim := Fig13(ds, tinyMotifs(), 2)
+	if len(ins.Rows) != len(ds.Prefixes) || len(tim.Rows) != len(ds.Prefixes) {
+		t.Fatalf("fig13 rows: %d, %d", len(ins.Rows), len(tim.Rows))
+	}
+	// Event counts grow with the prefix.
+	var prev int64 = -1
+	for _, row := range ins.Rows {
+		v, _ := strconv.ParseInt(row[1], 10, 64)
+		if v < prev {
+			t.Errorf("fig13 events shrank: %d -> %d", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestFig14ShapeAndSignificance(t *testing.T) {
+	ds := Bitcoin(Tiny)
+	tb := Fig14(ds, tinyMotifs(), 6, 42, 4)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		real, _ := strconv.ParseInt(row[1], 10, 64)
+		if real == 0 {
+			continue
+		}
+		z, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad z cell %q", row[4])
+		}
+		// Cascaded flow must be over-represented vs the permuted null.
+		if z <= 0 {
+			t.Errorf("motif %s: z = %v, expected positive", row[0], z)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package join implements the paper's baseline competitor (§6.2.1): a
+// motif-instance finder that materializes, for every arc of the time-series
+// graph, all contiguous interaction intervals of duration at most δ as
+// quintuples (u, v, ts, te, f), and then assembles motif instances by
+// joining sub-motif instance tables level by level along the spanning path,
+// in the style of a sort-merge join pipeline.
+//
+// The paper's point — which the Figure-8 benchmark reproduces — is that the
+// join approach pays for a large volume of intermediate sub-motif instances
+// that never extend to a full instance, which the two-phase algorithm
+// (package core) avoids by pruning inside each structural match.
+//
+// Each quintuple also carries the timestamps of its series' neighbouring
+// events (tPrev, tNext), which lets the join check the canonical-maximality
+// conditions locally, so that the final output is exactly the same
+// maximal-instance set that core.Enumerate produces (differentially tested).
+package join
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// Stats reports the intermediate-result volume of a join run; the blow-up
+// in Quintuples and Partials versus the final Instances is the baseline's
+// inefficiency the paper discusses.
+type Stats struct {
+	Quintuples int64   // per-arc interval tuples generated
+	Partials   []int64 // partial sub-motif instances alive after each level
+	Instances  int64   // final maximal instances emitted
+}
+
+// Options bound the join's resource usage.
+type Options struct {
+	// MaxPartials aborts the join when the number of live partial
+	// sub-motif instances exceeds this bound (0 means 64M).
+	MaxPartials int
+}
+
+// ErrBudget is returned when the join exceeds Options.MaxPartials.
+var ErrBudget = errors.New("join: partial-result budget exceeded")
+
+// quintuple is one contiguous interval of an arc's interaction series:
+// events [start, end) spanning times [ts, te] with aggregated flow f.
+type quintuple struct {
+	arc        int32
+	start, end int32
+	ts, te     int64
+	tPrev      int64 // time of the series event before start (minInt64 if none)
+	tNext      int64 // time of the series event at end (maxInt64 if none)
+	flow       float64
+}
+
+const (
+	minTime = int64(-1) << 62
+	maxTime = int64(1) << 62
+)
+
+// partial is a sub-motif instance covering motif edges [0, level].
+type partial struct {
+	nodes    []temporal.NodeID // motif vertex bindings (len = numV, -1 unbound)
+	quins    []int32           // quintuple index per covered edge
+	anchorTs int64             // ts of the level-0 quintuple (window start)
+	anchorTP int64             // tPrev of the level-0 quintuple
+	lastTe   int64
+	lastTN   int64 // tNext of the last quintuple
+	lastNode temporal.NodeID
+}
+
+// Enumerate finds all maximal instances of mo in g under p using the join
+// baseline and streams them to visit (nil to count only). Results are
+// identical to core.Enumerate; only the evaluation strategy differs.
+func Enumerate(g *temporal.Graph, mo *motif.Motif, p core.Params, visit core.Visitor, opts Options) (Stats, error) {
+	var st Stats
+	if p.Delta < 0 || p.Phi < 0 {
+		return st, errors.New("join: Delta and Phi must be non-negative")
+	}
+	maxPartials := opts.MaxPartials
+	if maxPartials <= 0 {
+		maxPartials = 64 << 20
+	}
+	m := mo.NumEdges()
+	path := mo.Path()
+	numV := mo.NumVertices()
+
+	// Step 1: generate the per-arc quintuple table, grouped by arc (arcs
+	// are CSR-ordered by source vertex, i.e. the table is "C1 sorted by
+	// starting vertex"; the per-arc offsets below are the join index).
+	quins, arcOff := buildQuintuples(g, p.Delta, p.Phi)
+	st.Quintuples = int64(len(quins))
+
+	// Step 2: seed the level-0 partial table: every quintuple on every arc
+	// becomes a sub-motif instance of the first edge.
+	var cur []partial
+	for qi := range quins {
+		q := &quins[qi]
+		src, dst := g.ArcSource(int(q.arc)), g.ArcTarget(int(q.arc))
+		if src == dst {
+			continue // motif edges never bind self loops
+		}
+		if m == 1 {
+			// Single-edge motifs apply the final maximality conditions at
+			// the seed level: run to the window end and reach beyond the
+			// previous anchor.
+			if q.tNext <= q.ts+p.Delta || q.te <= q.tPrev+p.Delta {
+				continue
+			}
+		}
+		nodes := make([]temporal.NodeID, numV)
+		for i := range nodes {
+			nodes[i] = -1
+		}
+		nodes[path[0]] = src
+		nodes[path[1]] = dst
+		cur = append(cur, partial{
+			nodes:    nodes,
+			quins:    []int32{int32(qi)},
+			anchorTs: q.ts,
+			anchorTP: q.tPrev,
+			lastTe:   q.te,
+			lastTN:   q.tNext,
+			lastNode: dst,
+		})
+	}
+	st.Partials = append(st.Partials, int64(len(cur)))
+
+	// Steps 3..m: join the partial table with the quintuple table on the
+	// next spanning-path edge. Partials are sorted by their last node and
+	// merged against the arc-grouped quintuples (sort-merge style).
+	for level := 1; level < m; level++ {
+		sort.Slice(cur, func(i, j int) bool { return cur[i].lastNode < cur[j].lastNode })
+		var next []partial
+		for pi := range cur {
+			pt := &cur[pi]
+			tv := path[level+1] // motif vertex to bind at this step
+			if pt.nodes[tv] >= 0 {
+				// Revisit (cycle closing): the target node is fixed.
+				arc, ok := g.FindArc(pt.lastNode, pt.nodes[tv])
+				if !ok {
+					continue
+				}
+				next = appendJoined(next, g, quins, arcOff, pt, arc, tv, p, level == m-1)
+			} else {
+				lo, hi := g.OutArcs(pt.lastNode)
+				for arc := lo; arc < hi; arc++ {
+					w := g.ArcTarget(arc)
+					if boundTo(pt.nodes, w) {
+						continue // injectivity
+					}
+					next = appendJoined(next, g, quins, arcOff, pt, arc, tv, p, level == m-1)
+				}
+			}
+			if len(next) > maxPartials {
+				return st, fmt.Errorf("%w (level %d: %d partials)", ErrBudget, level, len(next))
+			}
+		}
+		cur = next
+		st.Partials = append(st.Partials, int64(len(cur)))
+	}
+
+	// Emit: every surviving partial is a maximal instance.
+	st.Instances = int64(len(cur))
+	if visit != nil {
+		for pi := range cur {
+			in := buildInstance(g, mo, &cur[pi], quins)
+			if !visit(in) {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+// Count runs the join and returns the number of maximal instances.
+func Count(g *temporal.Graph, mo *motif.Motif, p core.Params, opts Options) (int64, Stats, error) {
+	st, err := Enumerate(g, mo, p, nil, opts)
+	return st.Instances, st, err
+}
+
+// appendJoined joins partial pt with every quintuple on arc that satisfies
+// the conditions the paper describes for the baseline's merge joins:
+// adjacency (checked by the caller), strict inter-level time ordering, and
+// the pairwise duration bound against the chain's first tuple
+// (c'1.te − c2.ts ≤ δ). Everything else — canonical contiguity, forced
+// splits, the final window and backward-maximality conditions — is only
+// verified on complete tuples (see maximalChain), which is exactly why the
+// baseline materializes a large volume of redundant sub-motif instances
+// that never contribute to a result (§6.2.1).
+func appendJoined(out []partial, g *temporal.Graph, quins []quintuple, arcOff []int32, pt *partial, arc int, tv int, p core.Params, final bool) []partial {
+	windowEnd := pt.anchorTs + p.Delta
+	for qi := arcOff[arc]; qi < arcOff[arc+1]; qi++ {
+		q := &quins[qi]
+		// Strict inter-level ordering.
+		if q.ts <= pt.lastTe {
+			continue
+		}
+		// Pairwise duration bound: everything within [anchor, anchor+δ].
+		if q.te > windowEnd {
+			continue
+		}
+		if final && !maximalChain(quins, pt, q, p.Delta) {
+			continue
+		}
+		np := partial{
+			nodes:    append([]temporal.NodeID(nil), pt.nodes...),
+			quins:    append(append([]int32(nil), pt.quins...), qi),
+			anchorTs: pt.anchorTs,
+			anchorTP: pt.anchorTP,
+			lastTe:   q.te,
+			lastTN:   q.tNext,
+			lastNode: g.ArcTarget(arc),
+		}
+		np.nodes[tv] = g.ArcTarget(arc)
+		out = append(out, np)
+	}
+	return out
+}
+
+// maximalChain verifies, on a complete chain (pt's quintuples plus the
+// final candidate q), the canonical-maximality conditions that single out
+// maximal instances among the baseline's sub-motif combinations: each
+// edge-set starts at the first series event after its predecessor's end,
+// each split is forced, the final edge-set runs to the window end, and the
+// instance cannot be extended backwards past the anchor.
+func maximalChain(quins []quintuple, pt *partial, q *quintuple, delta int64) bool {
+	windowEnd := pt.anchorTs + delta
+	// Final edge-set runs to the window end and reaches beyond the
+	// previous anchor (the window skip rule of Algorithm 1).
+	if q.tNext <= windowEnd || q.te <= pt.anchorTP+delta {
+		return false
+	}
+	prev := pt.quins
+	for i := 0; i <= len(prev); i++ {
+		var cur *quintuple
+		if i < len(prev) {
+			cur = &quins[prev[i]]
+		} else {
+			cur = q
+		}
+		if i > 0 {
+			before := &quins[prev[i-1]]
+			// Canonical contiguity with the predecessor.
+			if cur.tPrev > before.te {
+				return false
+			}
+			// Forced split of the predecessor.
+			if before.tNext <= windowEnd && cur.ts > before.tNext {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func boundTo(nodes []temporal.NodeID, w temporal.NodeID) bool {
+	for _, n := range nodes {
+		if n == w {
+			return true
+		}
+	}
+	return false
+}
+
+// buildQuintuples materializes, per arc, every contiguous interval of
+// duration <= delta whose aggregated flow passes phi, plus the neighbouring
+// event times needed for the maximality checks.
+func buildQuintuples(g *temporal.Graph, delta int64, phi float64) ([]quintuple, []int32) {
+	var quins []quintuple
+	arcOff := make([]int32, g.NumArcs()+1)
+	for a := 0; a < g.NumArcs(); a++ {
+		arcOff[a] = int32(len(quins))
+		s := g.Series(a)
+		for i := 0; i < len(s); i++ {
+			tPrev := minTime
+			if i > 0 {
+				tPrev = s[i-1].T
+			}
+			flow := 0.0
+			for j := i; j < len(s) && s[j].T-s[i].T <= delta; j++ {
+				flow += s[j].F
+				if flow < phi {
+					continue
+				}
+				tNext := maxTime
+				if j+1 < len(s) {
+					tNext = s[j+1].T
+				}
+				quins = append(quins, quintuple{
+					arc:   int32(a),
+					start: int32(i),
+					end:   int32(j + 1),
+					ts:    s[i].T,
+					te:    s[j].T,
+					tPrev: tPrev,
+					tNext: tNext,
+					flow:  flow,
+				})
+			}
+		}
+	}
+	arcOff[g.NumArcs()] = int32(len(quins))
+	return quins, arcOff
+}
+
+func buildInstance(g *temporal.Graph, mo *motif.Motif, pt *partial, quins []quintuple) *core.Instance {
+	m := mo.NumEdges()
+	in := &core.Instance{
+		Nodes:     make([]temporal.NodeID, mo.NumVertices()),
+		Arcs:      make([]int, m),
+		Spans:     make([]core.Span, m),
+		EdgeFlows: make([]float64, m),
+	}
+	copy(in.Nodes, pt.nodes)
+	minFlow := 0.0
+	for i := 0; i < m; i++ {
+		q := &quins[pt.quins[i]]
+		in.Arcs[i] = int(q.arc)
+		in.Spans[i] = core.Span{Start: q.start, End: q.end}
+		in.EdgeFlows[i] = q.flow
+		if i == 0 || q.flow < minFlow {
+			minFlow = q.flow
+		}
+	}
+	in.Flow = minFlow
+	in.Start = quins[pt.quins[0]].ts
+	in.End = quins[pt.quins[m-1]].te
+	return in
+}

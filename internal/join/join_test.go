@@ -1,0 +1,213 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+func mustGraph(t testing.TB, evs []temporal.Event) *temporal.Graph {
+	t.Helper()
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func figure7Graph(t testing.TB) *temporal.Graph {
+	return mustGraph(t, []temporal.Event{
+		{From: 0, To: 1, T: 10, F: 5},
+		{From: 0, To: 1, T: 13, F: 2},
+		{From: 0, To: 1, T: 15, F: 3},
+		{From: 0, To: 1, T: 18, F: 7},
+		{From: 1, To: 2, T: 9, F: 4},
+		{From: 1, To: 2, T: 11, F: 3},
+		{From: 1, To: 2, T: 16, F: 3},
+		{From: 2, To: 0, T: 14, F: 4},
+		{From: 2, To: 0, T: 19, F: 6},
+		{From: 2, To: 0, T: 24, F: 3},
+		{From: 2, To: 0, T: 25, F: 2},
+	})
+}
+
+func key(in *core.Instance) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%v a=%v s=", in.Nodes, in.Arcs)
+	for _, sp := range in.Spans {
+		fmt.Fprintf(&b, "[%d,%d)", sp.Start, sp.End)
+	}
+	return b.String()
+}
+
+func keysOf(ins []*core.Instance) []string {
+	ks := make([]string, len(ins))
+	for i, in := range ins {
+		ks[i] = key(in)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func collectJoin(t testing.TB, g *temporal.Graph, mo *motif.Motif, p core.Params) []*core.Instance {
+	t.Helper()
+	var out []*core.Instance
+	_, err := Enumerate(g, mo, p, func(in *core.Instance) bool {
+		out = append(out, in)
+		return true
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertSameAsCore(t *testing.T, g *temporal.Graph, mo *motif.Motif, p core.Params, label string) {
+	t.Helper()
+	want, err := core.Collect(g, mo, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectJoin(t, g, mo, p)
+	wk, gk := keysOf(want), keysOf(got)
+	if len(wk) != len(gk) {
+		t.Errorf("%s: join found %d instances, core found %d", label, len(gk), len(wk))
+		return
+	}
+	for i := range wk {
+		if wk[i] != gk[i] {
+			t.Errorf("%s: first difference:\n  core: %s\n  join: %s", label, wk[i], gk[i])
+			return
+		}
+	}
+}
+
+func TestJoinMatchesCoreOnFigure7(t *testing.T) {
+	g := figure7Graph(t)
+	mo := motif.MustPath(0, 1, 2, 0)
+	for _, phi := range []float64{0, 5} {
+		assertSameAsCore(t, g, mo, core.Params{Delta: 10, Phi: phi}, fmt.Sprintf("φ=%v", phi))
+	}
+}
+
+func TestJoinValidatesInstances(t *testing.T) {
+	g := figure7Graph(t)
+	mo := motif.MustPath(0, 1, 2, 0)
+	for _, in := range collectJoin(t, g, mo, core.Params{Delta: 10, Phi: 0}) {
+		if err := core.Validate(g, mo, 10, 0, in); err != nil {
+			t.Errorf("invalid join instance: %v", err)
+		}
+		if ok, why := core.IsMaximal(g, mo, 10, in); !ok {
+			t.Errorf("non-maximal join instance: %s", why)
+		}
+	}
+}
+
+func TestJoinDifferentialRandom(t *testing.T) {
+	motifs := []*motif.Motif{
+		motif.MustPath(0, 1),
+		motif.MustPath(0, 1, 2),
+		motif.MustPath(0, 1, 0),
+		motif.MustPath(0, 1, 2, 0),
+		motif.MustPath(0, 1, 2, 3),
+		motif.MustPath(0, 1, 2, 3, 1),
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 4 + rng.Intn(4)
+		perm := rng.Perm(240)
+		evs := make([]temporal.Event, 60)
+		for i := range evs {
+			evs[i] = temporal.Event{
+				From: temporal.NodeID(rng.Intn(nodes)),
+				To:   temporal.NodeID(rng.Intn(nodes)),
+				T:    int64(perm[i]),
+				F:    float64(1 + rng.Intn(9)),
+			}
+		}
+		g := mustGraph(t, evs)
+		for _, mo := range motifs {
+			for _, delta := range []int64{8, 25} {
+				for _, phi := range []float64{0, 4} {
+					assertSameAsCore(t, g, mo, core.Params{Delta: delta, Phi: phi},
+						fmt.Sprintf("seed=%d motif=%v δ=%d φ=%v", seed, mo, delta, phi))
+				}
+			}
+		}
+	}
+}
+
+func TestJoinDifferentialWithTies(t *testing.T) {
+	for seed := int64(300); seed < 310; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		evs := make([]temporal.Event, 40)
+		for i := range evs {
+			evs[i] = temporal.Event{
+				From: temporal.NodeID(rng.Intn(5)),
+				To:   temporal.NodeID(rng.Intn(5)),
+				T:    int64(rng.Intn(7)) * 30,
+				F:    float64(1 + rng.Intn(5)),
+			}
+		}
+		g := mustGraph(t, evs)
+		for _, mo := range []*motif.Motif{motif.MustPath(0, 1, 2), motif.MustPath(0, 1, 2, 0)} {
+			assertSameAsCore(t, g, mo, core.Params{Delta: 60, Phi: 2},
+				fmt.Sprintf("ties seed=%d motif=%v", seed, mo))
+		}
+	}
+}
+
+func TestJoinStatsShowIntermediateBlowup(t *testing.T) {
+	g := figure7Graph(t)
+	mo := motif.MustPath(0, 1, 2, 0)
+	n, st, err := Count(g, mo, core.Params{Delta: 10, Phi: 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("instances = %d, want 6", n)
+	}
+	if st.Quintuples == 0 {
+		t.Error("no quintuples recorded")
+	}
+	if len(st.Partials) != mo.NumEdges() {
+		t.Errorf("partials per level = %v, want %d entries", st.Partials, mo.NumEdges())
+	}
+	// The hallmark of the baseline: far more intermediates than results.
+	if st.Partials[0] <= n {
+		t.Errorf("expected intermediate blow-up, got partials=%v instances=%d", st.Partials, n)
+	}
+}
+
+func TestJoinBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(4000)
+	evs := make([]temporal.Event, 1000)
+	for i := range evs {
+		evs[i] = temporal.Event{
+			From: temporal.NodeID(rng.Intn(10)),
+			To:   temporal.NodeID(rng.Intn(10)),
+			T:    int64(perm[i]),
+			F:    1,
+		}
+	}
+	g := mustGraph(t, evs)
+	_, _, err := Count(g, motif.MustPath(0, 1, 2, 3), core.Params{Delta: 2000, Phi: 0}, Options{MaxPartials: 100})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("expected budget error, got %v", err)
+	}
+}
+
+func TestJoinParamValidation(t *testing.T) {
+	g := figure7Graph(t)
+	if _, _, err := Count(g, motif.MustPath(0, 1), core.Params{Delta: -1}, Options{}); err == nil {
+		t.Error("negative delta accepted")
+	}
+}

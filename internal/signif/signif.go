@@ -1,0 +1,198 @@
+// Package signif implements the paper's motif-significance methodology
+// (§6.3): generate randomized versions of the input network by keeping the
+// graph structure and timestamps fixed while permuting the flow values
+// across all edges, count motif instances in each randomized network, and
+// compare against the real count via z-scores, box-plot statistics and an
+// empirical p-value (Figure 14).
+package signif
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// Config controls a significance evaluation.
+type Config struct {
+	// Runs is the number of randomized networks (the paper uses 20).
+	Runs int
+	// Seed makes the permutations reproducible.
+	Seed int64
+	// Workers evaluates randomized networks concurrently (<= 1: serial).
+	Workers int
+}
+
+// BoxStats are five-number summary statistics for Figure 14's box plots.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Result reports the significance of one motif on one network.
+type Result struct {
+	Motif        string
+	Real         int64   // instance count in the real network
+	RandomCounts []int64 // instance count per randomized network
+	Mean         float64 // mean of RandomCounts
+	Std          float64 // standard deviation of RandomCounts
+	ZScore       float64 // (Real - Mean) / Std
+	PValue       float64 // fraction of randomized counts >= Real
+	Box          BoxStats
+}
+
+// FlowPermuted returns a copy of g with the same nodes, arcs and timestamps
+// whose flow values are a uniformly random permutation of the originals
+// (the paper's null model).
+func FlowPermuted(g *temporal.Graph, rng *rand.Rand) *temporal.Graph {
+	flows := g.Flows()
+	rng.Shuffle(len(flows), func(i, j int) { flows[i], flows[j] = flows[j], flows[i] })
+	ng, err := g.WithFlows(flows)
+	if err != nil {
+		// Unreachable: the permuted flows are the validated originals.
+		panic(err)
+	}
+	return ng
+}
+
+// Evaluate measures the significance of mo in g under p.
+func Evaluate(g *temporal.Graph, mo *motif.Motif, p core.Params, cfg Config) (Result, error) {
+	if cfg.Runs <= 0 {
+		return Result{}, errors.New("signif: Runs must be positive")
+	}
+	res := Result{Motif: mo.Name()}
+
+	real, _, err := core.Count(g, mo, p)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Real = real
+
+	// Pre-generate the permutation seeds so results do not depend on the
+	// worker schedule.
+	master := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, cfg.Runs)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+
+	res.RandomCounts = make([]int64, cfg.Runs)
+	workers := cfg.Workers
+	if workers <= 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		fail error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= cfg.Runs {
+					return
+				}
+				rg := FlowPermuted(g, rand.New(rand.NewSource(seeds[i])))
+				n, _, err := core.Count(rg, mo, p)
+				if err != nil {
+					mu.Lock()
+					if fail == nil {
+						fail = fmt.Errorf("signif: run %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				res.RandomCounts[i] = n
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		return Result{}, fail
+	}
+
+	res.Mean, res.Std = meanStd(res.RandomCounts)
+	if res.Std > 0 {
+		res.ZScore = (float64(res.Real) - res.Mean) / res.Std
+	} else if float64(res.Real) != res.Mean {
+		res.ZScore = math.Inf(sign(float64(res.Real) - res.Mean))
+	}
+	ge := 0
+	for _, c := range res.RandomCounts {
+		if c >= res.Real {
+			ge++
+		}
+	}
+	res.PValue = float64(ge) / float64(cfg.Runs)
+	res.Box = box(res.RandomCounts)
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func meanStd(xs []int64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(len(xs)))
+	return mean, std
+}
+
+// box computes the five-number summary with linear quartile interpolation.
+func box(xs []int64) BoxStats {
+	if len(xs) == 0 {
+		return BoxStats{}
+	}
+	s := make([]float64, len(xs))
+	for i, x := range xs {
+		s[i] = float64(x)
+	}
+	sort.Float64s(s)
+	return BoxStats{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

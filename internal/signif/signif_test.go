@@ -1,0 +1,183 @@
+package signif
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+func testGraph(t testing.TB, seed int64, nodes, events int) *temporal.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(events * 4)
+	evs := make([]temporal.Event, events)
+	for i := range evs {
+		evs[i] = temporal.Event{
+			From: temporal.NodeID(rng.Intn(nodes)),
+			To:   temporal.NodeID(rng.Intn(nodes)),
+			T:    int64(perm[i]),
+			F:    float64(1 + rng.Intn(9)),
+		}
+	}
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFlowPermutedPreservesStructure(t *testing.T) {
+	g := testGraph(t, 1, 10, 120)
+	rg := FlowPermuted(g, rand.New(rand.NewSource(42)))
+	if rg.NumNodes() != g.NumNodes() || rg.NumArcs() != g.NumArcs() || rg.NumEvents() != g.NumEvents() {
+		t.Fatal("structure changed")
+	}
+	// Timestamps identical arc by arc; flow multiset preserved.
+	var orig, perm []float64
+	for a := 0; a < g.NumArcs(); a++ {
+		so, sp := g.Series(a), rg.Series(a)
+		for i := range so {
+			if so[i].T != sp[i].T {
+				t.Fatalf("timestamp changed on arc %d", a)
+			}
+			orig = append(orig, so[i].F)
+			perm = append(perm, sp[i].F)
+		}
+	}
+	sort.Float64s(orig)
+	sort.Float64s(perm)
+	for i := range orig {
+		if orig[i] != perm[i] {
+			t.Fatal("flow multiset changed")
+		}
+	}
+	if math.Abs(rg.TotalFlow()-g.TotalFlow()) > 1e-6 {
+		t.Error("total flow changed")
+	}
+}
+
+func TestFlowPermutedDeterministicPerSeed(t *testing.T) {
+	g := testGraph(t, 2, 8, 60)
+	a := FlowPermuted(g, rand.New(rand.NewSource(7)))
+	b := FlowPermuted(g, rand.New(rand.NewSource(7)))
+	c := FlowPermuted(g, rand.New(rand.NewSource(8)))
+	same, diff := true, false
+	for arc := 0; arc < g.NumArcs(); arc++ {
+		sa, sb, sc := a.Series(arc), b.Series(arc), c.Series(arc)
+		for i := range sa {
+			if sa[i].F != sb[i].F {
+				same = false
+			}
+			if sa[i].F != sc[i].F {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed produced different permutations")
+	}
+	if !diff {
+		t.Error("different seeds produced identical permutations (suspicious)")
+	}
+}
+
+func TestEvaluateDeterministicAndConsistent(t *testing.T) {
+	g := testGraph(t, 3, 8, 80)
+	mo := motif.MustPath(0, 1, 2)
+	p := core.Params{Delta: 40, Phi: 6}
+	cfg := Config{Runs: 8, Seed: 11}
+	r1, err := Evaluate(g, mo, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(g, mo, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.RandomCounts {
+		if r1.RandomCounts[i] != r2.RandomCounts[i] {
+			t.Fatal("evaluation not deterministic")
+		}
+	}
+	// Workers must not change results.
+	cfg.Workers = 4
+	r3, err := Evaluate(g, mo, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.RandomCounts {
+		if r1.RandomCounts[i] != r3.RandomCounts[i] {
+			t.Fatal("parallel evaluation changed results")
+		}
+	}
+	// Real count must match a direct count.
+	n, _, err := core.Count(g, mo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Real != n {
+		t.Errorf("Real = %d, direct count = %d", r1.Real, n)
+	}
+	// With φ=0 the permutation does not change counts at all: flows do not
+	// matter, so every randomized count equals the real one and z = 0.
+	p0 := core.Params{Delta: 40, Phi: 0}
+	r0, err := Evaluate(g, mo, p0, Config{Runs: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r0.RandomCounts {
+		if c != r0.Real {
+			t.Errorf("φ=0 randomized count %d != real %d", c, r0.Real)
+		}
+	}
+	if r0.PValue != 1 {
+		t.Errorf("φ=0 p-value = %v, want 1", r0.PValue)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := testGraph(t, 4, 5, 20)
+	if _, err := Evaluate(g, motif.MustPath(0, 1), core.Params{Delta: 5}, Config{Runs: 0}); err == nil {
+		t.Error("Runs=0 accepted")
+	}
+	if _, err := Evaluate(g, motif.MustPath(0, 1), core.Params{Delta: -5}, Config{Runs: 1}); err == nil {
+		t.Error("negative delta accepted")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := box([]int64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("quartiles = %v, %v; want 2, 4", b.Q1, b.Q3)
+	}
+	single := box([]int64{7})
+	if single.Min != 7 || single.Q1 != 7 || single.Median != 7 || single.Q3 != 7 || single.Max != 7 {
+		t.Errorf("single box = %+v", single)
+	}
+	if (box(nil) != BoxStats{}) {
+		t.Error("empty box not zero")
+	}
+}
+
+func TestMeanStdAndZ(t *testing.T) {
+	mean, std := meanStd([]int64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-12 || math.Abs(std-2) > 1e-12 {
+		t.Errorf("meanStd = %v, %v; want 5, 2", mean, std)
+	}
+	// Degenerate: zero variance, real differs → infinite z.
+	g := testGraph(t, 6, 6, 30)
+	_ = g
+	r := Result{Real: 10}
+	r.Mean, r.Std = meanStd([]int64{3, 3, 3})
+	if r.Std != 0 {
+		t.Fatal("expected zero std")
+	}
+}
