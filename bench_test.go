@@ -11,6 +11,7 @@ package flowmotif
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"flowmotif/internal/core"
@@ -19,6 +20,8 @@ import (
 	"flowmotif/internal/match"
 	"flowmotif/internal/motif"
 	"flowmotif/internal/signif"
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
 )
 
 const benchScale = harness.Small
@@ -251,6 +254,68 @@ func BenchmarkAblationWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkStreamIngest measures steady-state streaming ingestion
+// (internal/stream, the flowmotifd hot path) in events per second: each
+// iteration replays the whole dataset as one stream pass in 512-event
+// batches, with timestamps shifted forward per pass so the engine keeps
+// running against the same live window instead of restarting.
+func BenchmarkStreamIngest(b *testing.B) {
+	for _, ds := range harness.All(benchScale) {
+		evs := ds.G.Events()
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+		minT, maxT := ds.G.TimeSpan()
+		span := maxT - minT + ds.Delta + 1
+
+		for _, cfg := range []struct {
+			name string
+			subs []stream.Subscription
+		}{
+			{"1sub", []stream.Subscription{
+				{ID: "tri", Motif: fastMotifs[1], Delta: ds.Delta, Phi: ds.Phi},
+			}},
+			{"4sub", []stream.Subscription{
+				{ID: "m32", Motif: fastMotifs[0], Delta: ds.Delta, Phi: ds.Phi},
+				{ID: "m33", Motif: fastMotifs[1], Delta: ds.Delta, Phi: ds.Phi},
+				{ID: "m43", Motif: fastMotifs[2], Delta: ds.Delta, Phi: ds.Phi},
+				{ID: "m44a", Motif: fastMotifs[3], Delta: ds.Delta, Phi: ds.Phi},
+			}},
+		} {
+			b.Run(ds.Name+"/"+cfg.name, func(b *testing.B) {
+				var detections int64
+				eng, err := stream.NewEngine(stream.Config{Subs: cfg.subs},
+					stream.FuncSink(func(*stream.Detection) { detections++ }))
+				if err != nil {
+					b.Fatal(err)
+				}
+				batch := make([]temporal.Event, 0, 512)
+				b.ResetTimer()
+				for pass := 0; pass < b.N; pass++ {
+					offset := int64(pass) * span
+					for lo := 0; lo < len(evs); lo += 512 {
+						hi := lo + 512
+						if hi > len(evs) {
+							hi = len(evs)
+						}
+						batch = batch[:0]
+						for _, e := range evs[lo:hi] {
+							e.T += offset
+							batch = append(batch, e)
+						}
+						if _, err := eng.Ingest(batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				total := float64(b.N) * float64(len(evs))
+				b.ReportMetric(total/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(detections)/float64(b.N), "detections/pass")
+				b.ReportMetric(float64(eng.Stats().EventsRetained), "retained")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+// Command flowmotifd is the flow-motif serving daemon: it ingests
+// interaction events as they occur and detects flow-motif instances online
+// (Kosyfaki et al., EDBT 2019, computed incrementally over a sliding
+// δ-retention window), serving detections over an HTTP/JSON API.
+//
+// Usage:
+//
+//	flowmotifd -addr :8089 -sub "M(3,3):600:5" -sub "chain3:300:0" [-workers N]
+//
+// Each -sub registers one detector as motif:delta:phi, where motif is a
+// catalog name ("M(4,4)B"), "chainN"/"cycleN", or a spanning path
+// ("0-1-2-0"); delta is the window duration δ and phi the per-edge-set
+// minimum flow φ (optional, default 0). The subscription id served by the
+// API is "motif/δ/φ" unless -sub is given as id=motif:delta:phi.
+//
+// API (see internal/server):
+//
+//	POST /ingest    {"events":[{"from":0,"to":1,"t":10,"f":5}, ...]}
+//	POST /flush     close all still-open windows
+//	GET  /instances?sub=ID&limit=N
+//	GET  /topk?sub=ID&k=N
+//	GET  /subs | /stats | /healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"flowmotif/internal/motif"
+	"flowmotif/internal/server"
+	"flowmotif/internal/stream"
+)
+
+// subFlags collects repeated -sub arguments.
+type subFlags []stream.Subscription
+
+func (s *subFlags) String() string { return fmt.Sprintf("%d subscriptions", len(*s)) }
+
+func (s *subFlags) Set(v string) error {
+	sub, err := parseSub(v)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, sub)
+	return nil
+}
+
+// parseSub parses "[id=]motif:delta[:phi]".
+func parseSub(v string) (stream.Subscription, error) {
+	var sub stream.Subscription
+	spec := v
+	if id, rest, ok := strings.Cut(v, "="); ok {
+		sub.ID = strings.TrimSpace(id)
+		spec = rest
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return sub, fmt.Errorf("subscription %q: want [id=]motif:delta[:phi]", v)
+	}
+	mo, err := motif.Parse(parts[0])
+	if err != nil {
+		return sub, fmt.Errorf("subscription %q: %w", v, err)
+	}
+	delta, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil || delta < 0 {
+		return sub, fmt.Errorf("subscription %q: bad delta %q", v, parts[1])
+	}
+	phi := 0.0
+	if len(parts) == 3 {
+		phi, err = strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || phi < 0 {
+			return sub, fmt.Errorf("subscription %q: bad phi %q", v, parts[2])
+		}
+	}
+	sub.Motif = mo
+	sub.Delta = delta
+	sub.Phi = phi
+	if sub.ID == "" {
+		sub.ID = fmt.Sprintf("%s/%d/%g", mo.Name(), delta, phi)
+	}
+	return sub, nil
+}
+
+func main() {
+	var subs subFlags
+	var (
+		addr    = flag.String("addr", ":8089", "listen address")
+		workers = flag.Int("workers", 1, "per-band enumeration parallelism")
+		recent  = flag.Int("recent", 4096, "recent-detection ring capacity (GET /instances)")
+		topk    = flag.Int("topk", 50, "retained best detections per subscription (GET /topk)")
+		slack   = flag.Int64("slack", 0, "extra event retention beyond the algorithmic minimum")
+	)
+	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
+	flag.Parse()
+
+	if len(subs) == 0 {
+		fmt.Fprintln(os.Stderr, `flowmotifd: at least one -sub required, e.g. -sub "M(3,3):600:5"`)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
+		Subs:    subs,
+		Workers: *workers,
+		Slack:   *slack,
+		Recent:  *recent,
+		TopK:    *topk,
+	})
+	if err != nil {
+		log.Fatalf("flowmotifd: %v", err)
+	}
+
+	for _, sub := range srv.Engine().Subscriptions() {
+		log.Printf("detector %s: %v δ=%d φ=%g", sub.ID, sub.Motif, sub.Delta, sub.Phi)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(done)
+	}()
+
+	log.Printf("flowmotifd listening on %s (%d detectors)", *addr, len(subs))
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("flowmotifd: %v", err)
+	}
+	<-done
+	st := srv.Engine().Stats()
+	log.Printf("final: %d events ingested, %d detections", st.EventsIngested, st.Detections)
+}

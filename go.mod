@@ -1,0 +1,3 @@
+module flowmotif
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,9 +21,9 @@ func Enumerate(g *temporal.Graph, mo *motif.Motif, p Params, visit Visitor) (Enu
 	}
 	pass := func(f float64) bool { return f >= p.Phi }
 	if p.Workers > 1 {
-		return enumerateParallel(g, mo, p, pass, visit)
+		return enumerateParallel(g, mo, p, pass, math.MinInt64, math.MaxInt64, visit)
 	}
-	return enumerate(g, fusedSource(g, mo, p.Delta), mo, p, pass, visit), nil
+	return enumerate(g, fusedSource(g, mo, p.Delta), mo, p, pass, math.MinInt64, math.MaxInt64, visit), nil
 }
 
 // EnumerateMatches runs phase P2 only, over pre-collected structural
@@ -33,7 +34,7 @@ func EnumerateMatches(g *temporal.Graph, mo *motif.Motif, matches []match.Match,
 		return EnumStats{}, err
 	}
 	pass := func(f float64) bool { return f >= p.Phi }
-	return enumerate(g, sliceSource(matches), mo, p, pass, visit), nil
+	return enumerate(g, sliceSource(matches), mo, p, pass, math.MinInt64, math.MaxInt64, visit), nil
 }
 
 // Count returns the number of maximal instances of mo in g under p.
@@ -52,9 +53,11 @@ func Collect(g *temporal.Graph, mo *motif.Motif, p Params, limit int) ([]*Instan
 	return out, err
 }
 
-// enumerate drives phase P2 serially over a match source.
-func enumerate(g *temporal.Graph, src matchSource, mo *motif.Motif, p Params, pass passFunc, visit Visitor) EnumStats {
-	e := newMatchEnum(g, mo, p, pass, visit)
+// enumerate drives phase P2 serially over a match source, with window
+// anchors restricted to [anchorLo, anchorHi] (pass the full int64 range
+// for an unrestricted search).
+func enumerate(g *temporal.Graph, src matchSource, mo *motif.Motif, p Params, pass passFunc, anchorLo, anchorHi int64, visit Visitor) EnumStats {
+	e := newMatchEnum(g, mo, p, pass, anchorLo, anchorHi, visit)
 	src(func(m *match.Match) bool {
 		e.stats.Matches++
 		e.run(m)
@@ -63,7 +66,7 @@ func enumerate(g *temporal.Graph, src matchSource, mo *motif.Motif, p Params, pa
 	return e.stats
 }
 
-func enumerateParallel(g *temporal.Graph, mo *motif.Motif, p Params, pass passFunc, visit Visitor) (EnumStats, error) {
+func enumerateParallel(g *temporal.Graph, mo *motif.Motif, p Params, pass passFunc, anchorLo, anchorHi int64, visit Visitor) (EnumStats, error) {
 	var (
 		total   EnumStats
 		mu      sync.Mutex
@@ -75,7 +78,7 @@ func enumerateParallel(g *temporal.Graph, mo *motif.Motif, p Params, pass passFu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := newMatchEnum(g, mo, p, pass, visit)
+			e := newMatchEnum(g, mo, p, pass, anchorLo, anchorHi, visit)
 			for !stopped.Load() {
 				u := next.Add(1) - 1
 				if u >= int64(g.NumNodes()) {
@@ -122,23 +125,31 @@ type matchEnum struct {
 	lb []int // first index with T > anchor time (edges 1..m-1)
 	ub []int // first index with T > window end
 
+	// Anchor-time restriction: only windows anchored at timestamps within
+	// [anchorLo, anchorHi] are processed. The default (full int64 range)
+	// reproduces plain Enumerate; EnumerateRange narrows it so the
+	// streaming subsystem can finalize one watermark band at a time.
+	anchorLo, anchorHi int64
+
 	spans   []Span
 	stopped bool
 }
 
-func newMatchEnum(g *temporal.Graph, mo *motif.Motif, p Params, pass passFunc, visit Visitor) *matchEnum {
+func newMatchEnum(g *temporal.Graph, mo *motif.Motif, p Params, pass passFunc, anchorLo, anchorHi int64, visit Visitor) *matchEnum {
 	m := mo.NumEdges()
 	return &matchEnum{
-		g:      g,
-		delta:  p.Delta,
-		prune:  !p.DisableAvailPrune,
-		pass:   pass,
-		visit:  visit,
-		m:      m,
-		series: make([][]temporal.Point, m),
-		lb:     make([]int, m),
-		ub:     make([]int, m),
-		spans:  make([]Span, m),
+		g:        g,
+		delta:    p.Delta,
+		prune:    !p.DisableAvailPrune,
+		pass:     pass,
+		visit:    visit,
+		m:        m,
+		series:   make([][]temporal.Point, m),
+		lb:       make([]int, m),
+		ub:       make([]int, m),
+		spans:    make([]Span, m),
+		anchorLo: anchorLo,
+		anchorHi: anchorHi,
 	}
 }
 
@@ -179,8 +190,23 @@ func (e *matchEnum) run(mt *match.Match) {
 			return
 		}
 	}
+	if e.anchorLo > s0[aStart].T {
+		// Anchor-range restriction: jump to the first in-range anchor. The
+		// window-skip rule below still sees pre-range predecessors (s0 is
+		// the full series), so maximality decisions are unchanged.
+		i := sort.Search(len(s0), func(k int) bool { return s0[k].T >= e.anchorLo })
+		if i > aStart {
+			aStart = i
+		}
+		if aStart == len(s0) {
+			return
+		}
+	}
 
 	for a := aStart; a < len(s0) && !e.stopped; a++ {
+		if s0[a].T > e.anchorHi {
+			break // past the anchor range
+		}
 		if m > 1 && s0[a].T >= lastT {
 			break // no final-edge event can follow this anchor
 		}

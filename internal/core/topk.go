@@ -60,12 +60,12 @@ func topK(g *temporal.Graph, mo *motif.Motif, src matchSource, delta int64, k in
 	p := Params{Delta: delta, Workers: workers}
 	if workers > 1 {
 		var err error
-		stats, err = enumerateParallel(g, mo, p, pass, visit)
+		stats, err = enumerateParallel(g, mo, p, pass, math.MinInt64, math.MaxInt64, visit)
 		if err != nil {
 			return nil, stats, err
 		}
 	} else {
-		stats = enumerate(g, src, mo, p, pass, visit)
+		stats = enumerate(g, src, mo, p, pass, math.MinInt64, math.MaxInt64, visit)
 	}
 
 	out := make([]*Instance, len(h.items))

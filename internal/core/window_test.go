@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"flowmotif/internal/gen"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// semanticKey renders an instance as a graph-independent string: bound
+// nodes plus, per motif edge, the (t, f) events of its edge-set. Two
+// instances over different Graph values (e.g. a band sub-graph) compare
+// equal iff they denote the same instance.
+func semanticKey(g *temporal.Graph, in *Instance) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N%v", in.Nodes)
+	for i, a := range in.Arcs {
+		s := g.Series(a)[in.Spans[i].Start:in.Spans[i].End]
+		fmt.Fprintf(&b, "|e%d", i)
+		for _, p := range s {
+			fmt.Fprintf(&b, ";%d:%g", p.T, p.F)
+		}
+	}
+	return b.String()
+}
+
+func collectKeys(t *testing.T, g *temporal.Graph, mo *motif.Motif, p Params, lo, hi int64) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	ins, err := CollectRange(g, mo, p, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range ins {
+		k := semanticKey(g, in)
+		if out[k] {
+			t.Fatalf("duplicate instance %s in band [%d,%d]", k, lo, hi)
+		}
+		out[k] = true
+	}
+	return out
+}
+
+func rangeTestGraph(t *testing.T) *temporal.Graph {
+	t.Helper()
+	evs, err := gen.Bitcoin(gen.BitcoinConfig{
+		Nodes: 250, SeedTxns: 1200, Duration: 40000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEnumerateRangePartition checks that a partition of the time axis into
+// anchor bands reproduces exactly the full enumeration, band by band, both
+// over the full graph and over band sub-graphs holding only the events of
+// (lo-δ, hi+δ] — the property the streaming engine is built on.
+func TestEnumerateRangePartition(t *testing.T) {
+	g := rangeTestGraph(t)
+	minT, maxT := g.TimeSpan()
+	events := g.Events()
+
+	motifs := []*motif.Motif{
+		motif.MustPath(0, 1, 2),
+		motif.MustPath(0, 1, 2, 0),
+		motif.MustPath(0, 1, 2, 3, 1),
+	}
+	for _, mo := range motifs {
+		for _, p := range []Params{
+			{Delta: 400, Phi: 0},
+			{Delta: 900, Phi: 8},
+		} {
+			t.Run(fmt.Sprintf("%s/d%d_phi%g", mo.Name(), p.Delta, p.Phi), func(t *testing.T) {
+				full := map[string]bool{}
+				ins, err := Collect(g, mo, p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, in := range ins {
+					full[semanticKey(g, in)] = true
+				}
+
+				// Uneven band boundaries, including degenerate short bands.
+				cuts := []int64{minT - 1, minT + 50, minT + 51, (minT + maxT) / 2, maxT - p.Delta, maxT}
+				sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+				gotFull := map[string]bool{}
+				gotSub := map[string]bool{}
+				for i := 1; i < len(cuts); i++ {
+					lo, hi := cuts[i-1]+1, cuts[i]
+					for k := range collectKeys(t, g, mo, p, lo, hi) {
+						if gotFull[k] {
+							t.Fatalf("instance %s emitted by two bands", k)
+						}
+						gotFull[k] = true
+					}
+
+					// Band sub-graph: only events of (lo-δ-1, hi+δ].
+					var kept []temporal.Event
+					for _, e := range events {
+						if e.T >= lo-p.Delta && e.T <= hi+p.Delta {
+							kept = append(kept, e)
+						}
+					}
+					sub, err := temporal.NewGraphWithNodes(g.NumNodes(), kept)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for k := range collectKeys(t, sub, mo, p, lo, hi) {
+						if gotSub[k] {
+							t.Fatalf("instance %s emitted by two sub-graph bands", k)
+						}
+						gotSub[k] = true
+					}
+				}
+
+				diffSets(t, "full-graph bands", full, gotFull)
+				diffSets(t, "sub-graph bands", full, gotSub)
+			})
+		}
+	}
+}
+
+func diffSets(t *testing.T, label string, want, got map[string]bool) {
+	t.Helper()
+	for k := range want {
+		if !got[k] {
+			t.Errorf("%s: missing instance %s", label, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("%s: spurious instance %s", label, k)
+		}
+	}
+	if len(want) != len(got) {
+		t.Errorf("%s: %d instances, want %d", label, len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: batch enumeration found no instances")
+	}
+}
+
+// TestEnumerateRangeFullRange checks the unrestricted range reproduces
+// Enumerate exactly, including stats, and that parallel range enumeration
+// agrees with serial.
+func TestEnumerateRangeFullRange(t *testing.T) {
+	g := rangeTestGraph(t)
+	mo := motif.MustPath(0, 1, 2, 0)
+	p := Params{Delta: 600, Phi: 2}
+
+	base, err := Collect(g, mo, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, in := range base {
+		want[semanticKey(g, in)] = true
+	}
+
+	got := collectKeys(t, g, mo, p, math.MinInt64, math.MaxInt64)
+	diffSets(t, "full int64 range", want, got)
+
+	pp := p
+	pp.Workers = 4
+	diffSets(t, "parallel full range", want, collectParallelKeys(t, g, mo, pp))
+}
+
+func collectParallelKeys(t *testing.T, g *temporal.Graph, mo *motif.Motif, p Params) map[string]bool {
+	t.Helper()
+	var (
+		keys = map[string]bool{}
+		ch   = make(chan string, 1024)
+		done = make(chan struct{})
+	)
+	go func() {
+		for k := range ch {
+			keys[k] = true
+		}
+		close(done)
+	}()
+	_, err := EnumerateRange(g, mo, p, math.MinInt64, math.MaxInt64, func(in *Instance) bool {
+		ch <- semanticKey(g, in)
+		return true
+	})
+	close(ch)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}

@@ -1,0 +1,323 @@
+// Package server exposes a streaming motif-detection engine
+// (internal/stream) over an HTTP/JSON API — the serving layer behind
+// cmd/flowmotifd.
+//
+// Endpoints:
+//
+//	POST /ingest    {"events":[{"from":0,"to":1,"t":10,"f":5}, ...]}
+//	                append a batch (may be internally unordered, must not
+//	                reach behind the stream frontier); responds with the
+//	                ingested count, the new watermark and how many
+//	                detections the batch finalized.
+//	POST /flush     close every still-open window (end-of-stream marker);
+//	                later events must clear the watermark by more than the
+//	                largest subscription δ.
+//	GET  /instances?sub=ID&limit=N   recent detections, newest first.
+//	GET  /topk?sub=ID&k=N            best detections by instance flow.
+//	GET  /subs      configured subscriptions.
+//	GET  /stats     engine + server statistics.
+//	GET  /healthz   liveness probe.
+//
+// Errors are JSON {"error": "..."}: 400 for malformed requests, 404 for
+// unknown subscriptions, 405 for wrong methods, 409 for batches that
+// violate the stream order contract.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Subs are the motif subscriptions served by the engine.
+	Subs []stream.Subscription
+	// Workers is the per-band enumeration parallelism (<= 1 serial).
+	Workers int
+	// Slack extends event retention beyond the algorithmic minimum.
+	Slack int64
+	// Recent bounds the in-memory ring of recent detections served by
+	// GET /instances (default 1024).
+	Recent int
+	// TopK bounds the per-subscription top list served by GET /topk
+	// (default 10).
+	TopK int
+}
+
+// Server wires an Engine to query sinks and HTTP handlers.
+type Server struct {
+	engine  *stream.Engine
+	recent  *stream.MemorySink
+	topk    *stream.TopKSink
+	subIDs  map[string]bool
+	started time.Time
+	reqs    atomic.Int64
+
+	// ingestMu serializes /ingest and /flush so the per-request
+	// "detections finalized by this batch" diff of two Stats snapshots is
+	// not interleaved by a concurrent writer (the engine itself already
+	// serializes ingestion; this only protects the accounting).
+	ingestMu sync.Mutex
+}
+
+// New builds a Server (and its engine) from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Recent <= 0 {
+		cfg.Recent = 1024
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	s := &Server{
+		recent:  stream.NewMemorySink(cfg.Recent),
+		topk:    stream.NewTopKSink(cfg.TopK),
+		started: time.Now(),
+		subIDs:  map[string]bool{},
+	}
+	eng, err := stream.NewEngine(stream.Config{
+		Subs:    cfg.Subs,
+		Workers: cfg.Workers,
+		Slack:   cfg.Slack,
+	}, stream.MultiSink{s.recent, s.topk})
+	if err != nil {
+		return nil, err
+	}
+	s.engine = eng
+	for _, sub := range eng.Subscriptions() {
+		s.subIDs[sub.ID] = true
+	}
+	return s, nil
+}
+
+// Engine returns the underlying stream engine (e.g. for direct feeding in
+// tests and demos).
+func (s *Server) Engine() *stream.Engine { return s.engine }
+
+// Handler returns the HTTP API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.count(s.handleIngest))
+	mux.HandleFunc("/flush", s.count(s.handleFlush))
+	mux.HandleFunc("/instances", s.count(s.handleInstances))
+	mux.HandleFunc("/topk", s.count(s.handleTopK))
+	mux.HandleFunc("/subs", s.count(s.handleSubs))
+	mux.HandleFunc("/stats", s.count(s.handleStats))
+	mux.HandleFunc("/healthz", s.count(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	return mux
+}
+
+func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Add(1)
+		h(w, r)
+	}
+}
+
+// wireEvent is the JSON shape of one interaction event.
+type wireEvent struct {
+	From temporal.NodeID `json:"from"`
+	To   temporal.NodeID `json:"to"`
+	T    int64           `json:"t"`
+	F    float64         `json:"f"`
+}
+
+type ingestRequest struct {
+	Events []wireEvent `json:"events"`
+}
+
+type ingestResponse struct {
+	Ingested   int   `json:"ingested"`
+	Watermark  int64 `json:"watermark"`
+	Detections int64 `json:"detections"` // finalized by this batch
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	evs := make([]temporal.Event, len(req.Events))
+	for i, e := range req.Events {
+		evs[i] = temporal.Event{From: e.From, To: e.To, T: e.T, F: e.F}
+	}
+	s.ingestMu.Lock()
+	before := s.engine.Stats().Detections
+	n, err := s.engine.Ingest(evs)
+	st := s.engine.Stats()
+	s.ingestMu.Unlock()
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, stream.ErrBehindFrontier) {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Ingested:   n,
+		Watermark:  st.Watermark,
+		Detections: st.Detections - before,
+	})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s.ingestMu.Lock()
+	before := s.engine.Stats().Detections
+	s.engine.Flush()
+	st := s.engine.Stats()
+	s.ingestMu.Unlock()
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Watermark:  st.Watermark,
+		Detections: st.Detections - before,
+	})
+}
+
+func (s *Server) resolveSub(w http.ResponseWriter, r *http.Request) (string, bool) {
+	sub := r.URL.Query().Get("sub")
+	if sub == "" {
+		if len(s.subIDs) == 1 {
+			for id := range s.subIDs {
+				return id, true
+			}
+		}
+		return "", true // "all" for /instances; /topk rejects below
+	}
+	if !s.subIDs[sub] {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown subscription %q", sub))
+		return "", false
+	}
+	return sub, true
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	sub, ok := s.resolveSub(w, r)
+	if !ok {
+		return
+	}
+	limit, err := intParam(r, "limit", 50)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ds := s.recent.Recent(sub, limit)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":     len(ds),
+		"instances": ds,
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	sub, ok := s.resolveSub(w, r)
+	if !ok {
+		return
+	}
+	if sub == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("sub parameter required (several subscriptions configured)"))
+		return
+	}
+	k, err := intParam(r, "k", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ds := s.topk.Top(sub)
+	if k > 0 && k < len(ds) {
+		ds = ds[:k]
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sub":       sub,
+		"count":     len(ds),
+		"instances": ds,
+	})
+}
+
+func (s *Server) handleSubs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	type wireSub struct {
+		ID    string  `json:"id"`
+		Motif string  `json:"motif"`
+		Path  string  `json:"path"`
+		Delta int64   `json:"delta"`
+		Phi   float64 `json:"phi"`
+	}
+	var out []wireSub
+	for _, sub := range s.engine.Subscriptions() {
+		out = append(out, wireSub{
+			ID:    sub.ID,
+			Motif: sub.Motif.Name(),
+			Path:  sub.Motif.String(),
+			Delta: sub.Delta,
+			Phi:   sub.Phi,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"subs": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"engine":        s.engine.Stats(),
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"httpRequests":  s.reqs.Load(),
+	})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s parameter %q", name, v)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+)
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(d *Detection)
+
+// Emit implements Sink.
+func (f FuncSink) Emit(d *Detection) { f(d) }
+
+// MultiSink fans every detection out to each child sink in order.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(d *Detection) {
+	for _, s := range m {
+		s.Emit(d)
+	}
+}
+
+// MemorySink retains the most recent detections in a bounded ring buffer,
+// for "what fired lately" queries (flowmotifd's GET /instances). It is
+// safe for concurrent use.
+type MemorySink struct {
+	mu    sync.Mutex
+	ring  []*Detection
+	next  int
+	total int64
+}
+
+// NewMemorySink retains up to capacity detections (minimum 1).
+func NewMemorySink(capacity int) *MemorySink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MemorySink{ring: make([]*Detection, 0, capacity)}
+}
+
+// Emit implements Sink.
+func (m *MemorySink) Emit(d *Detection) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.ring) < cap(m.ring) {
+		m.ring = append(m.ring, d)
+	} else {
+		m.ring[m.next] = d
+		m.next = (m.next + 1) % cap(m.ring)
+	}
+	m.total++
+}
+
+// Total returns the number of detections ever emitted to the sink.
+func (m *MemorySink) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Recent returns up to limit retained detections (limit <= 0: all),
+// newest first, optionally filtered by subscription id (empty: all).
+func (m *MemorySink) Recent(sub string, limit int) []*Detection {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Detection
+	n := len(m.ring)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		d := m.ring[((m.next-1-i)%n+n)%n]
+		if sub != "" && d.Sub != sub {
+			continue
+		}
+		out = append(out, d)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// TopKSink keeps, per subscription, the k detections with the highest
+// instance flow seen so far (ties broken towards earlier Start, then
+// earlier End, for determinism). It is safe for concurrent use.
+type TopKSink struct {
+	k    int
+	mu   sync.Mutex
+	subs map[string]*detHeap
+}
+
+// NewTopKSink keeps the best k detections per subscription (minimum 1).
+func NewTopKSink(k int) *TopKSink {
+	if k < 1 {
+		k = 1
+	}
+	return &TopKSink{k: k, subs: map[string]*detHeap{}}
+}
+
+// Emit implements Sink.
+func (t *TopKSink) Emit(d *Detection) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.subs[d.Sub]
+	if h == nil {
+		h = &detHeap{}
+		t.subs[d.Sub] = h
+	}
+	if h.Len() < t.k {
+		heap.Push(h, d)
+		return
+	}
+	if detLess((*h)[0], d) {
+		(*h)[0] = d
+		heap.Fix(h, 0)
+	}
+}
+
+// Top returns the retained detections of a subscription, best first.
+func (t *TopKSink) Top(sub string) []*Detection {
+	t.mu.Lock()
+	h := t.subs[sub]
+	out := make([]*Detection, 0)
+	if h != nil {
+		out = append(out, (*h)...)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return detLess(out[j], out[i]) })
+	return out
+}
+
+// detLess orders detections worst-first (heap order): by flow, then by
+// later start/end so that among equal flows the earliest instance wins.
+func detLess(a, b *Detection) bool {
+	if a.Flow != b.Flow {
+		return a.Flow < b.Flow
+	}
+	if a.Start != b.Start {
+		return a.Start > b.Start
+	}
+	return a.End > b.End
+}
+
+// detHeap is a min-heap under detLess (the root is the weakest retained
+// detection).
+type detHeap []*Detection
+
+func (h detHeap) Len() int            { return len(h) }
+func (h detHeap) Less(i, j int) bool  { return detLess(h[i], h[j]) }
+func (h detHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *detHeap) Push(x interface{}) { *h = append(*h, x.(*Detection)) }
+func (h *detHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

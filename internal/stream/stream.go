@@ -1,0 +1,420 @@
+// Package stream detects flow motifs online, as interaction events arrive,
+// instead of over a frozen snapshot. It exploits the paper's key locality
+// property (Kosyfaki et al., EDBT 2019, Definition 3.1): every instance of
+// a motif with duration constraint δ is confined to a δ-window anchored at
+// its first event. Once the stream watermark W (the largest timestamp seen)
+// passes ts+δ, the window anchored at ts can never gain another event, so
+// the engine can
+//
+//   - finalize windows in anchor order: each ingest advances a per-
+//     subscription "emitted-through" anchor bound A to W-δ-1 and enumerates
+//     only the newly closed anchor band (A, W-δ-1] via core.EnumerateRange,
+//     over a snapshot restricted to (A-δ, W-1] — the frontier touched by
+//     recent events — rather than re-running batch search;
+//   - evict events older than A-δ from the retention log (temporal.
+//     WindowLog), bounding memory by the event rate times max δ, not the
+//     stream length.
+//
+// The emitted maximal instances are therefore exactly those the batch
+// FindInstances reports on the full event log (see the equivalence oracle
+// in stream_test.go); detections flow to a pluggable Sink as soon as their
+// window closes.
+//
+// Engines serialize Ingest/Flush internally and are safe for concurrent
+// use; cmd/flowmotifd serves one engine over HTTP (internal/server).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// Subscription asks the engine to detect one motif under one (δ, φ)
+// setting. ID must be unique within an engine; it tags detections.
+type Subscription struct {
+	ID    string
+	Motif *motif.Motif
+	Delta int64   // duration constraint δ (>= 0)
+	Phi   float64 // per-edge-set minimum flow φ (>= 0)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Subs are the motif subscriptions; at least one is required.
+	Subs []Subscription
+	// Workers is the parallelism of per-band enumeration (<= 1 serial).
+	// With Workers > 1 sinks must tolerate detections out of anchor order
+	// (they are still each emitted exactly once).
+	Workers int
+	// Slack retains events this much longer than the algorithmic minimum
+	// (max δ behind the finalization frontier), e.g. for debugging sinks
+	// that want to look events up after the fact.
+	Slack int64
+}
+
+// Detection is one finalized maximal motif instance, self-contained (it
+// embeds the matched events, not indices into some graph snapshot).
+type Detection struct {
+	Sub        string             `json:"sub"`
+	Motif      string             `json:"motif"`
+	Nodes      []temporal.NodeID  `json:"nodes"`
+	Edges      [][]temporal.Point `json:"edges"` // events per motif edge, time-ordered
+	EdgeFlows  []float64          `json:"edgeFlows"`
+	Flow       float64            `json:"flow"`  // min over EdgeFlows
+	Start      int64              `json:"start"` // anchor timestamp
+	End        int64              `json:"end"`
+	DetectedAt int64              `json:"detectedAt"` // watermark when the window closed
+}
+
+// Sink receives detections. Emit is called with a freshly allocated
+// Detection that the sink may retain. The engine serializes Emit calls,
+// in finalization order, outside its ingestion lock: a sink may query the
+// engine (Stats, Watermark, Subscriptions) from within Emit, but must not
+// call Ingest or Flush there (self-deadlock).
+type Sink interface {
+	Emit(d *Detection)
+}
+
+// ErrBehindFrontier is wrapped by Ingest errors for batches that reach
+// behind the admissible stream frontier (the watermark, or further after
+// a Flush); test with errors.Is.
+var ErrBehindFrontier = errors.New("stream: batch behind the stream frontier")
+
+// SubStats reports per-subscription progress.
+type SubStats struct {
+	ID             string  `json:"id"`
+	Motif          string  `json:"motif"`
+	Delta          int64   `json:"delta"`
+	Phi            float64 `json:"phi"`
+	Detections     int64   `json:"detections"`
+	Bands          int64   `json:"bands"`          // finalized anchor bands enumerated
+	EmittedThrough int64   `json:"emittedThrough"` // anchors <= this are finalized
+}
+
+// Stats reports engine progress.
+type Stats struct {
+	EventsIngested int64      `json:"eventsIngested"`
+	EventsRetained int        `json:"eventsRetained"`
+	EventsEvicted  int64      `json:"eventsEvicted"`
+	Batches        int64      `json:"batches"`
+	Watermark      int64      `json:"watermark"`
+	Started        bool       `json:"started"` // at least one event ingested
+	Detections     int64      `json:"detections"`
+	Subs           []SubStats `json:"subs"`
+}
+
+type subState struct {
+	sub        Subscription
+	emitted    int64 // anchor bound A: anchors <= A finalized; valid once primed
+	primed     bool
+	detections int64
+	bands      int64
+}
+
+// Engine is the streaming motif detector.
+type Engine struct {
+	mu      sync.Mutex // guards all engine state below
+	log     *temporal.WindowLog
+	sink    Sink
+	workers int
+	slack   int64
+	subs    []*subState
+
+	minNextT   int64 // smallest admissible next timestamp
+	maxDelta   int64 // largest subscription δ
+	batches    int64
+	detections int64
+
+	scratch []temporal.Event // reused per-batch sort buffer
+	pending []*Detection     // finalized this call, emitted after mu release
+
+	// ingestMu serializes whole Ingest/Flush calls including sink
+	// emission, and is always acquired BEFORE mu (never the reverse).
+	// Emission happens with mu released, so sinks can query the engine;
+	// readers (Stats, Watermark, Subscriptions) take only mu.
+	ingestMu sync.Mutex
+}
+
+// NewEngine builds an engine over the given subscriptions and sink (which
+// may be nil to discard detections).
+func NewEngine(cfg Config, sink Sink) (*Engine, error) {
+	if len(cfg.Subs) == 0 {
+		return nil, errors.New("stream: at least one subscription required")
+	}
+	if cfg.Slack < 0 {
+		return nil, errors.New("stream: Slack must be non-negative")
+	}
+	seen := map[string]bool{}
+	e := &Engine{
+		log:      temporal.NewWindowLog(),
+		sink:     sink,
+		workers:  cfg.Workers,
+		slack:    cfg.Slack,
+		minNextT: math.MinInt64,
+	}
+	for i, s := range cfg.Subs {
+		if s.Motif == nil {
+			return nil, fmt.Errorf("stream: subscription %d: nil motif", i)
+		}
+		if s.Delta < 0 || s.Phi < 0 {
+			return nil, fmt.Errorf("stream: subscription %d: Delta and Phi must be non-negative", i)
+		}
+		if s.ID == "" {
+			s.ID = s.Motif.Name()
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("stream: duplicate subscription id %q", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Delta > e.maxDelta {
+			e.maxDelta = s.Delta
+		}
+		e.subs = append(e.subs, &subState{sub: s})
+	}
+	return e, nil
+}
+
+// Ingest appends a batch of events and finalizes every window the advanced
+// watermark closes, emitting its maximal instances to the sink. The batch
+// is sorted by timestamp internally; it must not reach behind the current
+// watermark (the stream contract: events arrive in time order, batches may
+// be internally unordered). Validation is all-or-nothing: on error no
+// event of the batch is ingested. Returns the number of events ingested.
+func (e *Engine) Ingest(events []temporal.Event) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.mu.Lock()
+
+	e.scratch = append(e.scratch[:0], events...)
+	batch := e.scratch
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].T < batch[j].T })
+	if batch[0].T < e.minNextT {
+		err := fmt.Errorf("%w: batch reaches back to t=%d, frontier is %d", ErrBehindFrontier, batch[0].T, e.minNextT)
+		e.mu.Unlock()
+		return 0, err
+	}
+	for i := range batch {
+		ev := &batch[i]
+		if ev.From < 0 || ev.To < 0 {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("stream: batch event %d: negative node id", i)
+		}
+		if ev.F <= 0 || math.IsNaN(ev.F) || math.IsInf(ev.F, 0) {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("stream: batch event %d: flow must be positive and finite (got %v)", i, ev.F)
+		}
+	}
+	for i := range batch {
+		if err := e.log.Append(batch[i]); err != nil {
+			// Unreachable: the batch was validated above.
+			e.mu.Unlock()
+			return i, fmt.Errorf("stream: append: %w", err)
+		}
+	}
+	first := batch[0].T
+	for _, s := range e.subs {
+		if !s.primed {
+			// No anchor can precede the first event ever seen.
+			s.emitted = satSub(first, 1)
+			s.primed = true
+		}
+	}
+	w, _ := e.log.Watermark()
+	e.minNextT = w
+	e.batches++
+
+	n := len(batch)
+	e.finalize(false)
+	e.evict()
+	e.emitPending() // unlocks mu
+	return n, nil
+}
+
+// Flush finalizes every still-open window at the current watermark W.
+// Flushing forecloses windows that could otherwise still have grown, so
+// afterwards ingested events must be strictly newer than W plus the
+// largest subscription δ: anything closer could have landed inside an
+// already-emitted window, and accepting it would break the batch
+// equivalence. A flush is therefore an end-of-stream marker (or a
+// deliberate gap), not a peek at pending results.
+func (e *Engine) Flush() {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.mu.Lock()
+	w, ok := e.log.Watermark()
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	e.finalize(true)
+	if m := satAdd(w, e.maxDelta+1); m > e.minNextT {
+		e.minNextT = m
+	}
+	e.evict()
+	e.emitPending() // unlocks mu
+}
+
+// emitPending drains the detections finalized by the current call to the
+// sink. It must be entered with both ingestMu and mu held; it releases mu
+// before touching the sink, so Emit callbacks run outside the state lock
+// (sinks may read engine state) while the surrounding ingestMu preserves
+// finalization order across concurrent callers.
+func (e *Engine) emitPending() {
+	pend := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	if e.sink != nil {
+		for _, d := range pend {
+			e.sink.Emit(d)
+		}
+	}
+}
+
+// finalize enumerates, for every subscription, the anchor band of newly
+// closed windows (A, hi] and emits its maximal instances. A window
+// anchored at ts is closed once it can gain no further event: future
+// events have T >= watermark, so ts+δ <= watermark-1 suffices — or any ts
+// when the stream has terminally ended (flush).
+func (e *Engine) finalize(terminal bool) {
+	w, _ := e.log.Watermark()
+	for _, s := range e.subs {
+		hi := w
+		if !terminal {
+			hi = satSub(w, 1+s.sub.Delta)
+		}
+		if !s.primed || hi <= s.emitted {
+			continue
+		}
+		lo := satAdd(s.emitted, 1)
+		// The band sub-graph needs the windows' events [lo, hi+δ] plus the
+		// preceding δ for the maximality skip rule (core.EnumerateRange).
+		g, err := e.log.BuildGraph(satSub(lo, s.sub.Delta), satAdd(hi, s.sub.Delta))
+		if err != nil {
+			// Unreachable: the log only holds validated events.
+			panic(fmt.Sprintf("stream: band graph: %v", err))
+		}
+		p := core.Params{Delta: s.sub.Delta, Phi: s.sub.Phi, Workers: e.workers}
+		// With Workers > 1 the visitor runs concurrently; bandMu guards the
+		// pending list and counters (mu is held but not by the workers).
+		var bandMu sync.Mutex
+		_, err = core.EnumerateRange(g, s.sub.Motif, p, lo, hi, func(in *core.Instance) bool {
+			d := e.detection(g, s, in, w)
+			bandMu.Lock()
+			s.detections++
+			e.detections++
+			e.pending = append(e.pending, d)
+			bandMu.Unlock()
+			return true
+		})
+		if err != nil {
+			// Unreachable: params were validated at engine construction.
+			panic(fmt.Sprintf("stream: enumerate: %v", err))
+		}
+		s.bands++
+		s.emitted = hi
+	}
+}
+
+// detection converts a band-graph instance into a self-contained Detection.
+func (e *Engine) detection(g *temporal.Graph, s *subState, in *core.Instance, watermark int64) *Detection {
+	edges := make([][]temporal.Point, len(in.Arcs))
+	for i, a := range in.Arcs {
+		sp := in.Spans[i]
+		edges[i] = append([]temporal.Point(nil), g.Series(a)[sp.Start:sp.End]...)
+	}
+	return &Detection{
+		Sub:        s.sub.ID,
+		Motif:      s.sub.Motif.Name(),
+		Nodes:      append([]temporal.NodeID(nil), in.Nodes...),
+		Edges:      edges,
+		EdgeFlows:  append([]float64(nil), in.EdgeFlows...),
+		Flow:       in.Flow,
+		Start:      in.Start,
+		End:        in.End,
+		DetectedAt: watermark,
+	}
+}
+
+// evict drops events no subscription can ever need again: everything
+// older than min over subscriptions of A-δ, minus the configured slack.
+func (e *Engine) evict() {
+	keep := int64(math.MaxInt64)
+	for _, s := range e.subs {
+		if !s.primed {
+			return
+		}
+		if edge := satSub(s.emitted, s.sub.Delta); edge < keep {
+			keep = edge
+		}
+	}
+	e.log.EvictBefore(satSub(keep, e.slack))
+}
+
+// Watermark returns the largest ingested timestamp (ok false before the
+// first event).
+func (e *Engine) Watermark() (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.log.Watermark()
+}
+
+// Stats snapshots engine progress.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w, ok := e.log.Watermark()
+	st := Stats{
+		EventsIngested: e.log.Appended(),
+		EventsRetained: e.log.Len(),
+		EventsEvicted:  e.log.Evicted(),
+		Batches:        e.batches,
+		Watermark:      w,
+		Started:        ok,
+		Detections:     e.detections,
+	}
+	for _, s := range e.subs {
+		st.Subs = append(st.Subs, SubStats{
+			ID:             s.sub.ID,
+			Motif:          s.sub.Motif.Name(),
+			Delta:          s.sub.Delta,
+			Phi:            s.sub.Phi,
+			Detections:     s.detections,
+			Bands:          s.bands,
+			EmittedThrough: s.emitted,
+		})
+	}
+	return st
+}
+
+// Subscriptions returns the engine's subscriptions (IDs resolved).
+func (e *Engine) Subscriptions() []Subscription {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Subscription, len(e.subs))
+	for i, s := range e.subs {
+		out[i] = s.sub
+	}
+	return out
+}
+
+func satAdd(a, b int64) int64 {
+	if b > 0 && a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	if b < 0 && a < math.MinInt64-b {
+		return math.MinInt64
+	}
+	return a + b
+}
+
+func satSub(a, b int64) int64 { return satAdd(a, -b) }

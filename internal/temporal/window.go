@@ -1,0 +1,133 @@
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WindowLog is the append/evict event store behind streaming ingestion
+// (internal/stream): a time-ordered log of events over a sliding retention
+// window. Appends must be non-decreasing in T (the stream contract);
+// EvictBefore drops the expired prefix. Storage is a ring-style compacting
+// buffer — eviction advances a head index and the backing array is reused
+// once the dead prefix dominates, so steady-state ingestion allocates O(1)
+// amortized per event regardless of stream length.
+//
+// A WindowLog is not safe for concurrent use; the stream engine serializes
+// access.
+type WindowLog struct {
+	events []Event // retained events, time-ordered, live part events[head:]
+	head   int     // evicted prefix length within events
+
+	numNodes  int   // max node id seen + 1 (over the whole stream, not just retained)
+	appended  int64 // events ever appended
+	evicted   int64 // events ever evicted
+	watermark int64 // largest T appended
+	started   bool  // at least one event appended
+}
+
+// NewWindowLog returns an empty log.
+func NewWindowLog() *WindowLog { return &WindowLog{} }
+
+// Append adds one event. Events must arrive in non-decreasing timestamp
+// order; an event older than the current watermark is rejected with an
+// error and the log is unchanged. Flow and node validation matches
+// NewGraphWithNodes.
+func (l *WindowLog) Append(e Event) error {
+	if e.From < 0 || e.To < 0 {
+		return errNegativeNode
+	}
+	if e.F <= 0 || math.IsNaN(e.F) || math.IsInf(e.F, 0) {
+		return fmt.Errorf("temporal: %w (got %v)", errNonPositiveFlow, e.F)
+	}
+	if l.started && e.T < l.watermark {
+		return fmt.Errorf("temporal: out-of-order event at t=%d behind watermark %d", e.T, l.watermark)
+	}
+	l.events = append(l.events, e)
+	l.appended++
+	l.watermark = e.T
+	l.started = true
+	if n := int(e.From) + 1; n > l.numNodes {
+		l.numNodes = n
+	}
+	if n := int(e.To) + 1; n > l.numNodes {
+		l.numNodes = n
+	}
+	return nil
+}
+
+// EvictBefore drops every retained event with T < t and returns how many
+// were dropped. The backing array is compacted once the dead prefix
+// exceeds the live part, keeping memory proportional to the retention
+// window.
+func (l *WindowLog) EvictBefore(t int64) int {
+	live := l.events[l.head:]
+	n := sort.Search(len(live), func(i int) bool { return live[i].T >= t })
+	if n == 0 {
+		return 0
+	}
+	l.head += n
+	l.evicted += int64(n)
+	if l.head > len(l.events)-l.head {
+		l.events = append(l.events[:0], l.events[l.head:]...)
+		l.head = 0
+	}
+	return n
+}
+
+// Len returns the number of retained events.
+func (l *WindowLog) Len() int { return len(l.events) - l.head }
+
+// NumNodes returns the node universe size observed so far (max id + 1),
+// including nodes whose events have all been evicted.
+func (l *WindowLog) NumNodes() int { return l.numNodes }
+
+// Watermark returns the largest appended timestamp; ok is false while the
+// log has never seen an event.
+func (l *WindowLog) Watermark() (t int64, ok bool) { return l.watermark, l.started }
+
+// Appended and Evicted return lifetime counters.
+func (l *WindowLog) Appended() int64 { return l.appended }
+
+// Evicted returns the number of events dropped by EvictBefore calls.
+func (l *WindowLog) Evicted() int64 { return l.evicted }
+
+// OldestT returns the timestamp of the oldest retained event; ok is false
+// when the log is empty.
+func (l *WindowLog) OldestT() (t int64, ok bool) {
+	if l.Len() == 0 {
+		return 0, false
+	}
+	return l.events[l.head].T, true
+}
+
+// Range returns the retained events with lo <= T <= hi, time-ordered. The
+// slice aliases log storage and is valid only until the next Append or
+// EvictBefore.
+func (l *WindowLog) Range(lo, hi int64) []Event {
+	live := l.events[l.head:]
+	i := sort.Search(len(live), func(k int) bool { return live[k].T >= lo })
+	j := sort.Search(len(live), func(k int) bool { return live[k].T > hi })
+	return live[i:j]
+}
+
+// BuildGraph materializes the time-series graph of the events with
+// lo <= T <= hi. Node ids are preserved, but the universe is trimmed to
+// the largest id appearing in the range, so per-snapshot cost tracks the
+// window's active nodes rather than every id the stream has ever seen
+// (which only grows). The graph is an independent snapshot: later
+// Append/EvictBefore calls do not affect it.
+func (l *WindowLog) BuildGraph(lo, hi int64) (*Graph, error) {
+	evs := l.Range(lo, hi)
+	n := 0
+	for i := range evs {
+		if v := int(evs[i].From) + 1; v > n {
+			n = v
+		}
+		if v := int(evs[i].To) + 1; v > n {
+			n = v
+		}
+	}
+	return NewGraphWithNodes(n, evs)
+}

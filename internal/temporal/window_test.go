@@ -1,0 +1,131 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindowLogAppendOrderAndValidation(t *testing.T) {
+	l := NewWindowLog()
+	if _, ok := l.Watermark(); ok {
+		t.Fatal("empty log reports a watermark")
+	}
+	if err := l.Append(Event{From: 0, To: 1, T: 10, F: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Event{From: 1, To: 2, T: 10, F: 1}); err != nil {
+		t.Fatalf("equal-timestamp append rejected: %v", err)
+	}
+	if err := l.Append(Event{From: 1, To: 2, T: 9, F: 1}); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	if err := l.Append(Event{From: 1, To: 2, T: 11, F: 0}); err == nil {
+		t.Fatal("non-positive flow accepted")
+	}
+	if err := l.Append(Event{From: -1, To: 2, T: 11, F: 1}); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if w, _ := l.Watermark(); w != 10 {
+		t.Fatalf("watermark = %d, want 10", w)
+	}
+	if l.Len() != 2 || l.Appended() != 2 {
+		t.Fatalf("Len=%d Appended=%d, want 2, 2", l.Len(), l.Appended())
+	}
+	if l.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", l.NumNodes())
+	}
+}
+
+func TestWindowLogEvictAndRange(t *testing.T) {
+	l := NewWindowLog()
+	for i := 0; i < 100; i++ {
+		if err := l.Append(Event{From: NodeID(i % 5), To: NodeID((i + 1) % 5), T: int64(i), F: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := l.EvictBefore(0); n != 0 {
+		t.Fatalf("evicted %d, want 0", n)
+	}
+	if n := l.EvictBefore(30); n != 30 {
+		t.Fatalf("evicted %d, want 30", n)
+	}
+	if l.Len() != 70 || l.Evicted() != 30 {
+		t.Fatalf("Len=%d Evicted=%d, want 70, 30", l.Len(), l.Evicted())
+	}
+	if ot, ok := l.OldestT(); !ok || ot != 30 {
+		t.Fatalf("OldestT = %d,%v, want 30,true", ot, ok)
+	}
+	r := l.Range(40, 49)
+	if len(r) != 10 || r[0].T != 40 || r[9].T != 49 {
+		t.Fatalf("Range(40,49) = %d events [%v..%v]", len(r), r[0], r[len(r)-1])
+	}
+	if len(l.Range(200, 300)) != 0 || len(l.Range(0, 29)) != 0 {
+		t.Fatal("out-of-window ranges non-empty")
+	}
+	// NumNodes survives eviction of all of a node's events.
+	l.EvictBefore(1000)
+	if l.Len() != 0 || l.NumNodes() != 5 {
+		t.Fatalf("after full eviction: Len=%d NumNodes=%d", l.Len(), l.NumNodes())
+	}
+	// The log stays usable after full eviction.
+	if err := l.Append(Event{From: 9, To: 0, T: 99, F: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", l.NumNodes())
+	}
+}
+
+// TestWindowLogSlidingEquivalence slides a window over a random stream and
+// checks that BuildGraph over the retained suffix always equals a graph
+// built directly from the same events, while the ring-style compaction
+// keeps memory bounded.
+func TestWindowLogSlidingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := NewWindowLog()
+	var all []Event
+	tNow := int64(0)
+	const retention = 50
+	for i := 0; i < 2000; i++ {
+		tNow += int64(rng.Intn(3))
+		e := Event{
+			From: NodeID(rng.Intn(20)),
+			To:   NodeID(rng.Intn(20)),
+			T:    tNow,
+			F:    1 + rng.Float64(),
+		}
+		all = append(all, e)
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		l.EvictBefore(tNow - retention)
+
+		if i%97 != 0 {
+			continue
+		}
+		var want []Event
+		for _, w := range all {
+			if w.T >= tNow-retention {
+				want = append(want, w)
+			}
+		}
+		if l.Len() != len(want) {
+			t.Fatalf("step %d: Len=%d, want %d", i, l.Len(), len(want))
+		}
+		g, err := l.BuildGraph(tNow-retention, tNow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg, err := NewGraphWithNodes(l.NumNodes(), want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEvents() != wg.NumEvents() || g.NumArcs() != wg.NumArcs() ||
+			g.TotalFlow() != wg.TotalFlow() {
+			t.Fatalf("step %d: snapshot graph diverges: %v vs %v", i, g, wg)
+		}
+	}
+	if cap(l.events) > 4096 {
+		t.Fatalf("backing array grew unbounded: cap=%d", cap(l.events))
+	}
+}

@@ -1,0 +1,46 @@
+package flowmotif
+
+import (
+	"flowmotif/internal/stream"
+)
+
+// Streaming re-exports: online motif detection over event streams
+// (internal/stream). An engine ingests timestamp-ordered events, maintains
+// a sliding δ-retention window, and emits each maximal motif instance to a
+// sink the moment its window closes — producing exactly the instance set
+// FindInstances reports on the equivalent batch graph. cmd/flowmotifd
+// serves an engine over HTTP.
+type (
+	// StreamSubscription asks for one motif under one (δ, φ) setting.
+	StreamSubscription = stream.Subscription
+	// StreamConfig parameterizes a streaming engine.
+	StreamConfig = stream.Config
+	// StreamEngine detects flow motifs online.
+	StreamEngine = stream.Engine
+	// StreamStats reports engine progress.
+	StreamStats = stream.Stats
+	// Detection is one finalized maximal instance, self-contained.
+	Detection = stream.Detection
+	// DetectionSink receives detections as windows close.
+	DetectionSink = stream.Sink
+	// FuncSink adapts a function to the DetectionSink interface.
+	FuncSink = stream.FuncSink
+	// MultiSink fans detections out to several sinks.
+	MultiSink = stream.MultiSink
+	// MemorySink retains the most recent detections in a bounded ring.
+	MemorySink = stream.MemorySink
+	// TopKSink keeps the best detections per subscription by flow.
+	TopKSink = stream.TopKSink
+)
+
+// NewStreamEngine builds a streaming detector over the given subscriptions;
+// sink may be nil to discard detections (counted in Stats only).
+func NewStreamEngine(cfg StreamConfig, sink DetectionSink) (*StreamEngine, error) {
+	return stream.NewEngine(cfg, sink)
+}
+
+// NewMemorySink retains up to capacity recent detections.
+func NewMemorySink(capacity int) *MemorySink { return stream.NewMemorySink(capacity) }
+
+// NewTopKSink keeps the k highest-flow detections per subscription.
+func NewTopKSink(k int) *TopKSink { return stream.NewTopKSink(k) }
