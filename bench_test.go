@@ -20,6 +20,7 @@ import (
 	"flowmotif/internal/match"
 	"flowmotif/internal/motif"
 	"flowmotif/internal/signif"
+	"flowmotif/internal/store"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
 )
@@ -317,6 +318,80 @@ func BenchmarkStreamIngest(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkStoreAppend measures durable WAL ingestion (the flowmotifd
+// -data-dir hot path) in events per second: each iteration appends the
+// whole dataset in 512-event batches, timestamps shifted forward per pass
+// so the store's time frontier keeps advancing. Segments roll at the
+// default size; fsync is off (the serving default).
+func BenchmarkStoreAppend(b *testing.B) {
+	ds := harness.Bitcoin(benchScale)
+	evs := ds.G.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	minT, maxT := ds.G.TimeSpan()
+	span := maxT - minT + 1
+
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	batch := make([]temporal.Event, 0, 512)
+	b.ResetTimer()
+	for pass := 0; pass < b.N; pass++ {
+		offset := int64(pass) * span
+		for lo := 0; lo < len(evs); lo += 512 {
+			hi := lo + 512
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			batch = batch[:0]
+			for _, e := range evs[lo:hi] {
+				e.T += offset
+				batch = append(batch, e)
+			}
+			if err := st.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N) * float64(len(evs))
+	b.ReportMetric(total/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkStoreReplay measures WAL recovery speed (the flowmotifd
+// restart path) in events per second over a pre-populated store.
+func BenchmarkStoreReplay(b *testing.B) {
+	ds := harness.Bitcoin(benchScale)
+	evs := ds.G.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	st, err := store.Open(b.TempDir(), store.Options{SegmentEvents: 1 << 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(evs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := st.Replay(0, func(_ int64, _ temporal.Event) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(evs) {
+			b.Fatalf("replayed %d events, want %d", n, len(evs))
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N) * float64(len(evs))
+	b.ReportMetric(total/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkGraphConstruction measures time-series graph building, the

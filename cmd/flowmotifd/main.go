@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	flowmotifd -addr :8089 -sub "M(3,3):600:5" -sub "chain3:300:0" [-workers N]
+//	flowmotifd -addr :8089 -sub "M(3,3):600:5" -sub "chain3:300:0" \
+//	           [-workers N] [-data-dir DIR [-snapshot-every 5m] [-fsync]]
 //
 // Each -sub registers one detector as motif:delta:phi, where motif is a
 // catalog name ("M(4,4)B"), "chainN"/"cycleN", or a spanning path
@@ -13,10 +14,17 @@
 // minimum flow φ (optional, default 0). The subscription id served by the
 // API is "motif/δ/φ" unless -sub is given as id=motif:delta:phi.
 //
+// With -data-dir the daemon is durable: every acknowledged batch lands in
+// a segmented write-ahead log, engine state is checkpointed periodically
+// (-snapshot-every), on POST /snapshot, and on graceful shutdown, and a
+// restart recovers the exact pre-crash state — snapshot plus WAL-tail
+// replay (see internal/store and DESIGN.md §8).
+//
 // API (see internal/server):
 //
 //	POST /ingest    {"events":[{"from":0,"to":1,"t":10,"f":5}, ...]}
 //	POST /flush     close all still-open windows
+//	POST /snapshot  checkpoint engine + sink state (durable mode)
 //	GET  /instances?sub=ID&limit=N
 //	GET  /topk?sub=ID&k=N
 //	GET  /subs | /stats | /healthz
@@ -93,11 +101,15 @@ func parseSub(v string) (stream.Subscription, error) {
 func main() {
 	var subs subFlags
 	var (
-		addr    = flag.String("addr", ":8089", "listen address")
-		workers = flag.Int("workers", 1, "per-band enumeration parallelism")
-		recent  = flag.Int("recent", 4096, "recent-detection ring capacity (GET /instances)")
-		topk    = flag.Int("topk", 50, "retained best detections per subscription (GET /topk)")
-		slack   = flag.Int64("slack", 0, "extra event retention beyond the algorithmic minimum")
+		addr     = flag.String("addr", ":8089", "listen address")
+		workers  = flag.Int("workers", 1, "per-band enumeration parallelism")
+		recent   = flag.Int("recent", 4096, "recent-detection ring capacity (GET /instances)")
+		topk     = flag.Int("topk", 50, "retained best detections per subscription (GET /topk)")
+		slack    = flag.Int64("slack", 0, "extra event retention beyond the algorithmic minimum")
+		dataDir  = flag.String("data-dir", "", "durable mode: WAL + snapshot directory (empty: in-memory only)")
+		fsync    = flag.Bool("fsync", false, "fsync the WAL after every acknowledged batch (with -data-dir)")
+		segEvs   = flag.Int("segment-events", 0, "events per WAL segment before sealing (0: default)")
+		snapEach = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (with -data-dir; 0 disables)")
 	)
 	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
 	flag.Parse()
@@ -109,11 +121,14 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Subs:    subs,
-		Workers: *workers,
-		Slack:   *slack,
-		Recent:  *recent,
-		TopK:    *topk,
+		Subs:          subs,
+		Workers:       *workers,
+		Slack:         *slack,
+		Recent:        *recent,
+		TopK:          *topk,
+		DataDir:       *dataDir,
+		SyncWrites:    *fsync,
+		SegmentEvents: *segEvs,
 	})
 	if err != nil {
 		log.Fatalf("flowmotifd: %v", err)
@@ -122,6 +137,14 @@ func main() {
 	for _, sub := range srv.Engine().Subscriptions() {
 		log.Printf("detector %s: %v δ=%d φ=%g", sub.ID, sub.Motif, sub.Delta, sub.Phi)
 	}
+	if srv.Durable() {
+		rec := srv.Recovery()
+		log.Printf("durable: data dir %s (fsync=%v)", *dataDir, *fsync)
+		if rec.FromSnapshot || rec.Replayed > 0 {
+			log.Printf("recovered: snapshot seq %d (used=%v), %d WAL events replayed",
+				rec.SnapshotSeq, rec.FromSnapshot, rec.Replayed)
+		}
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -129,6 +152,25 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	done := make(chan struct{})
+	stopSnaps := make(chan struct{})
+	if srv.Durable() && *snapEach > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEach)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if seq, err := srv.Snapshot(); err != nil {
+						log.Printf("snapshot failed: %v", err)
+					} else {
+						log.Printf("snapshot at seq %d", seq)
+					}
+				case <-stopSnaps:
+					return
+				}
+			}
+		}()
+	}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -145,6 +187,15 @@ func main() {
 		log.Fatalf("flowmotifd: %v", err)
 	}
 	<-done
+	close(stopSnaps)
+	if srv.Durable() {
+		// Flush a final snapshot so the next start replays no WAL tail.
+		if err := srv.Close(); err != nil {
+			log.Printf("final snapshot/close: %v", err)
+		} else {
+			log.Printf("final snapshot flushed")
+		}
+	}
 	st := srv.Engine().Stats()
 	log.Printf("final: %d events ingested, %d detections", st.EventsIngested, st.Detections)
 }

@@ -16,7 +16,14 @@
 //	GET  /topk?sub=ID&k=N            best detections by instance flow.
 //	GET  /subs      configured subscriptions.
 //	GET  /stats     engine + server statistics.
-//	GET  /healthz   liveness probe.
+//	GET  /healthz   health probe: watermark, event counts, last snapshot.
+//	POST /snapshot  checkpoint the engine + sink state to the data dir
+//	                (durable servers only).
+//
+// With Config.DataDir set the server is durable: every acknowledged batch
+// is appended to a segmented write-ahead log (internal/store), POST
+// /snapshot checkpoints the engine, and New recovers the pre-crash state
+// from the newest snapshot plus a replay of the WAL tail.
 //
 // Errors are JSON {"error": "..."}: 400 for malformed requests, 404 for
 // unknown subscriptions, 405 for wrong methods, 409 for batches that
@@ -28,11 +35,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flowmotif/internal/store"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
 )
@@ -51,25 +60,69 @@ type Config struct {
 	// TopK bounds the per-subscription top list served by GET /topk
 	// (default 10).
 	TopK int
+	// DataDir, when non-empty, makes the server durable: ingested batches
+	// are appended to a segmented WAL under this directory and New
+	// recovers engine + sink state from the newest snapshot plus the WAL
+	// tail.
+	DataDir string
+	// SyncWrites fsyncs the WAL after every acknowledged batch (durable
+	// against machine crashes, not just process crashes). Durable servers
+	// only.
+	SyncWrites bool
+	// SegmentEvents caps events per WAL segment (default
+	// store.DefaultSegmentEvents). Durable servers only.
+	SegmentEvents int
+}
+
+// RecoveryStats reports what New rebuilt from a data dir.
+type RecoveryStats struct {
+	// FromSnapshot is true when a snapshot seeded the engine state.
+	FromSnapshot bool `json:"fromSnapshot"`
+	// SnapshotSeq is the WAL position of that snapshot.
+	SnapshotSeq int64 `json:"snapshotSeq"`
+	// Replayed counts the WAL-tail events re-ingested after the snapshot.
+	Replayed int64 `json:"replayed"`
+}
+
+// serverSnapshot is the snapshot payload: the engine state plus the query
+// sinks' contents, so restart resumes with /instances and /topk intact.
+type serverSnapshot struct {
+	Engine *stream.EngineSnapshot `json:"engine"`
+	Recent stream.MemorySinkState `json:"recent"`
+	TopK   stream.TopKSinkState   `json:"topk"`
 }
 
 // Server wires an Engine to query sinks and HTTP handlers.
 type Server struct {
-	engine  *stream.Engine
-	recent  *stream.MemorySink
-	topk    *stream.TopKSink
-	subIDs  map[string]bool
-	started time.Time
-	reqs    atomic.Int64
+	engine    *stream.Engine
+	recent    *stream.MemorySink
+	topk      *stream.TopKSink
+	st        *store.Store // nil when not durable
+	recovered RecoveryStats
+	subIDs    map[string]bool
+	started   time.Time
+	reqs      atomic.Int64
 
-	// ingestMu serializes /ingest and /flush so the per-request
-	// "detections finalized by this batch" diff of two Stats snapshots is
-	// not interleaved by a concurrent writer (the engine itself already
-	// serializes ingestion; this only protects the accounting).
+	// ingestMu serializes /ingest, /flush and snapshot *capture* so (a)
+	// the per-request "detections finalized by this batch" diff of two
+	// Stats snapshots is not interleaved by a concurrent writer, (b)
+	// engine ingest and WAL append form one atomic unit, and (c) a
+	// snapshot's WAL seq always matches the engine state it captures.
 	ingestMu sync.Mutex
+	// snapMu serializes snapshot persistence (marshal + write + rename),
+	// which deliberately happens *outside* ingestMu so a slow checkpoint
+	// of a large engine state never stalls ingestion. Lock order where
+	// both are needed: snapMu before ingestMu.
+	snapMu sync.Mutex
 }
 
-// New builds a Server (and its engine) from cfg.
+// New builds a Server (and its engine) from cfg. With cfg.DataDir set it
+// also opens the event store and recovers: the newest usable snapshot is
+// restored into the engine and sinks, then the WAL tail is replayed
+// through normal ingestion, regenerating every detection the crash lost.
+// If no snapshot is usable (none taken, corrupt, or the subscriptions
+// changed), the whole WAL is replayed from scratch — the log, not the
+// snapshot, is the source of truth.
 func New(cfg Config) (*Server, error) {
 	if cfg.Recent <= 0 {
 		cfg.Recent = 1024
@@ -95,12 +148,137 @@ func New(cfg Config) (*Server, error) {
 	for _, sub := range eng.Subscriptions() {
 		s.subIDs[sub.ID] = true
 	}
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, store.Options{
+			Sync:          cfg.SyncWrites,
+			SegmentEvents: cfg.SegmentEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.recover(st); err != nil {
+			st.Close()
+			return nil, err
+		}
+		s.st = st
+	}
 	return s, nil
+}
+
+// recover restores the newest usable snapshot and replays the WAL tail.
+func (s *Server) recover(st *store.Store) error {
+	from := int64(0)
+	if snap, err := st.LoadSnapshot(); err != nil {
+		return err
+	} else if snap != nil {
+		var ss serverSnapshot
+		if json.Unmarshal(snap.Payload, &ss) == nil && ss.Engine != nil {
+			// A failed restore (e.g. the operator changed the -sub set) is
+			// not fatal: fall through to a full WAL replay.
+			if err := s.engine.Restore(ss.Engine); err == nil {
+				s.recent.Restore(ss.Recent)
+				s.topk.Restore(ss.TopK)
+				s.recovered.FromSnapshot = true
+				s.recovered.SnapshotSeq = snap.Seq
+				from = snap.Seq
+			}
+		}
+	}
+	batch := make([]temporal.Event, 0, 4096)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := s.engine.Ingest(batch)
+		batch = batch[:0]
+		return err
+	}
+	var ingestErr error
+	err := st.Replay(from, func(_ int64, ev temporal.Event) bool {
+		batch = append(batch, ev)
+		s.recovered.Replayed++
+		if len(batch) == cap(batch) {
+			if ingestErr = flush(); ingestErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err == nil && ingestErr == nil {
+		ingestErr = flush()
+	}
+	if err == nil {
+		err = ingestErr
+	}
+	if err != nil {
+		return fmt.Errorf("server: recovery replay: %w", err)
+	}
+	return nil
 }
 
 // Engine returns the underlying stream engine (e.g. for direct feeding in
 // tests and demos).
 func (s *Server) Engine() *stream.Engine { return s.engine }
+
+// Durable reports whether the server persists to a data dir.
+func (s *Server) Durable() bool { return s.st != nil }
+
+// Recovery reports what New rebuilt from the data dir (zero value for
+// non-durable servers or empty dirs).
+func (s *Server) Recovery() RecoveryStats { return s.recovered }
+
+// Snapshot checkpoints the engine and sink state to the data dir,
+// returning the WAL seq it reflects. Recovery after a crash then replays
+// only the WAL tail past this point. Only the in-memory state *capture*
+// blocks ingestion; serialization and disk I/O run outside the ingest
+// lock.
+func (s *Server) Snapshot() (int64, error) {
+	if s.st == nil {
+		return 0, errors.New("server: not durable (no data dir configured)")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.ingestMu.Lock()
+	seq, snap := s.captureSnapshotLocked()
+	s.ingestMu.Unlock()
+	return seq, s.writeSnapshot(seq, snap)
+}
+
+// captureSnapshotLocked must be called with ingestMu held, so the
+// captured WAL seq and engine state agree. The returned state is a
+// consistent point-in-time copy safe to serialize after the lock is
+// released.
+func (s *Server) captureSnapshotLocked() (int64, serverSnapshot) {
+	return s.st.Seq(), serverSnapshot{
+		Engine: s.engine.Snapshot(),
+		Recent: s.recent.Snapshot(),
+		TopK:   s.topk.Snapshot(),
+	}
+}
+
+// writeSnapshot must be called with snapMu held (ordering concurrent
+// checkpoints so an older capture can never overwrite a newer one).
+func (s *Server) writeSnapshot(seq int64, snap serverSnapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("server: snapshot marshal: %w", err)
+	}
+	return s.st.WriteSnapshot(seq, payload)
+}
+
+// Close flushes a final snapshot (durable servers; best-effort — the WAL
+// alone already suffices for recovery) and closes the store. The server
+// must not serve requests afterwards.
+func (s *Server) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	_, snapErr := s.Snapshot()
+	if err := s.st.Close(); err != nil {
+		return err
+	}
+	return snapErr
+}
 
 // Handler returns the HTTP API handler.
 func (s *Server) Handler() http.Handler {
@@ -111,9 +289,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/topk", s.count(s.handleTopK))
 	mux.HandleFunc("/subs", s.count(s.handleSubs))
 	mux.HandleFunc("/stats", s.count(s.handleStats))
-	mux.HandleFunc("/healthz", s.count(func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	}))
+	mux.HandleFunc("/snapshot", s.count(s.handleSnapshot))
+	mux.HandleFunc("/healthz", s.count(s.handleHealthz))
 	return mux
 }
 
@@ -158,9 +335,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i, e := range req.Events {
 		evs[i] = temporal.Event{From: e.From, To: e.To, T: e.T, F: e.F}
 	}
+	// Pre-sort (stably, matching the engine's internal order) so the WAL
+	// records the exact sequence the engine processed.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
 	s.ingestMu.Lock()
 	before := s.engine.Stats().Detections
 	n, err := s.engine.Ingest(evs)
+	if err == nil && s.st != nil {
+		if perr := s.st.Append(evs); perr != nil {
+			// The engine applied the batch but the WAL did not: durability
+			// is broken for these events, so fail loudly rather than ack.
+			s.ingestMu.Unlock()
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist: %w", perr))
+			return
+		}
+	}
 	st := s.engine.Stats()
 	s.ingestMu.Unlock()
 	if err != nil {
@@ -183,15 +372,82 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
+	if s.st != nil {
+		s.snapMu.Lock() // before ingestMu, per the documented lock order
+		defer s.snapMu.Unlock()
+	}
 	s.ingestMu.Lock()
 	before := s.engine.Stats().Detections
 	s.engine.Flush()
+	var seq int64
+	var snap serverSnapshot
+	if s.st != nil {
+		seq, snap = s.captureSnapshotLocked()
+	}
 	st := s.engine.Stats()
 	s.ingestMu.Unlock()
+	if s.st != nil {
+		// A flush forecloses windows beyond the watermark; checkpointing
+		// makes that frontier durable, so a post-crash replay cannot
+		// re-open (and re-emit from) windows the flush already closed.
+		if err := s.writeSnapshot(seq, snap); err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist flush: %w", err))
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Watermark:  st.Watermark,
 		Detections: st.Detections - before,
 	})
+}
+
+// handleSnapshot is the POST /snapshot admin endpoint: checkpoint now.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.st == nil {
+		writeErr(w, http.StatusBadRequest, errors.New("server is not durable (start with a data dir)"))
+		return
+	}
+	start := time.Now()
+	seq, err := s.Snapshot()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"seq":     seq,
+		"tookMs":  time.Since(start).Milliseconds(),
+		"durable": true,
+	})
+}
+
+// handleHealthz reports liveness plus the load-balancer-relevant progress
+// counters: the stream watermark, event counts and snapshot freshness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	st := s.engine.Stats()
+	resp := map[string]interface{}{
+		"status":     "ok",
+		"started":    st.Started,
+		"watermark":  st.Watermark,
+		"events":     st.EventsIngested,
+		"detections": st.Detections,
+		"durable":    s.st != nil,
+	}
+	if s.st != nil {
+		resp["walEvents"] = s.st.Seq()
+		if seq, at, ok := s.st.SnapshotInfo(); ok {
+			resp["lastSnapshotSeq"] = seq
+			resp["lastSnapshotUnix"] = at.Unix()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) resolveSub(w http.ResponseWriter, r *http.Request) (string, bool) {
@@ -291,11 +547,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"engine":        s.engine.Stats(),
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 		"httpRequests":  s.reqs.Load(),
-	})
+	}
+	if s.st != nil {
+		resp["store"] = map[string]interface{}{
+			"walEvents": s.st.Seq(),
+			"segments":  s.st.Segments(),
+			"recovery":  s.recovered,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

@@ -1,0 +1,264 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/gen"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// instKey serializes an instance's semantic content (bound nodes plus the
+// (t, f) events of every edge-set) independently of which graph snapshot
+// produced it, so chunk-scan results can be compared to batch results.
+func instKey(g *temporal.Graph, in *core.Instance) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N%v", in.Nodes)
+	for i, a := range in.Arcs {
+		fmt.Fprintf(&b, "|e%d", i)
+		for _, p := range g.Series(a)[in.Spans[i].Start:in.Spans[i].End] {
+			fmt.Fprintf(&b, ";%d:%g", p.T, p.F)
+		}
+	}
+	return b.String()
+}
+
+func queryEvents(t *testing.T, seed int64) []temporal.Event {
+	t.Helper()
+	evs, err := gen.Bitcoin(gen.BitcoinConfig{
+		Nodes: 150, SeedTxns: 500, Duration: 25000, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	return evs
+}
+
+// TestQueryEquivalence is the out-of-core oracle: scanning the WAL
+// segments in δ-overlapping chunks — small chunks, so many bands and
+// evictions happen — must enumerate exactly the maximal instance set the
+// in-memory search finds on the fully materialized graph.
+func TestQueryEquivalence(t *testing.T) {
+	evs := queryEvents(t, 3)
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(t.TempDir(), Options{SegmentEvents: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < len(evs); i += 100 {
+		j := i + 100
+		if j > len(evs) {
+			j = len(evs)
+		}
+		if err := s.Append(evs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	settings := []struct {
+		delta int64
+		phi   float64
+	}{
+		{250, 0},
+		{800, 5},
+	}
+	anyInstances := false
+	for _, mo := range motif.Catalog() {
+		for _, set := range settings {
+			name := fmt.Sprintf("%s/d%d/phi%g", mo.Name(), set.delta, set.phi)
+			t.Run(name, func(t *testing.T) {
+				p := core.Params{Delta: set.delta, Phi: set.phi}
+				want := map[string]bool{}
+				if _, err := core.Enumerate(g, mo, p, func(in *core.Instance) bool {
+					want[instKey(g, in)] = true
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+
+				got := map[string]bool{}
+				dups := 0
+				st, err := s.Query(mo, p, QueryOptions{ChunkEvents: 97},
+					func(bg *temporal.Graph, in *core.Instance) bool {
+						k := instKey(bg, in)
+						if got[k] {
+							dups++
+						}
+						got[k] = true
+						return true
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dups > 0 {
+					t.Fatalf("%d duplicate instances across chunks", dups)
+				}
+				if st.Instances != int64(len(got)) {
+					t.Fatalf("stats report %d instances, set has %d", st.Instances, len(got))
+				}
+				if len(got) != len(want) {
+					t.Fatalf("out-of-core found %d instances, batch found %d", len(got), len(want))
+				}
+				for k := range want {
+					if !got[k] {
+						t.Fatalf("missing instance %s", k)
+					}
+				}
+				if len(want) > 0 {
+					anyInstances = true
+				}
+			})
+		}
+	}
+	if !anyInstances {
+		t.Fatal("degenerate oracle: no motif produced any instance")
+	}
+}
+
+// TestQueryRange restricts the anchor range (exercising the sealed
+// segments' [minT, maxT] index skip) and checks the result against an
+// equally restricted in-memory enumeration.
+func TestQueryRange(t *testing.T) {
+	evs := queryEvents(t, 5)
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(t.TempDir(), Options{SegmentEvents: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	minT, maxT := g.TimeSpan()
+	lo := minT + (maxT-minT)/3
+	hi := minT + 2*(maxT-minT)/3
+	mo := motif.MustPath(0, 1, 2, 0)
+	p := core.Params{Delta: 400, Phi: 0}
+
+	want := map[string]bool{}
+	if _, err := core.EnumerateRange(g, mo, p, lo, hi, func(in *core.Instance) bool {
+		want[instKey(g, in)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no instances in the restricted range")
+	}
+
+	got := map[string]bool{}
+	if _, err := s.QueryRange(mo, p, QueryOptions{ChunkEvents: 64}, lo, hi,
+		func(bg *temporal.Graph, in *core.Instance) bool {
+			got[instKey(bg, in)] = true
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range query found %d instances, batch found %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing instance %s", k)
+		}
+	}
+}
+
+// TestQueryParallelWorkers runs the out-of-core scan with concurrent band
+// enumeration (including an early stop, the path where workers race on
+// the stop flag) and checks the instance set still matches serial.
+func TestQueryParallelWorkers(t *testing.T) {
+	evs := queryEvents(t, 9)
+	s, err := Open(t.TempDir(), Options{SegmentEvents: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(evs); err != nil {
+		t.Fatal(err)
+	}
+	mo := motif.MustPath(0, 1, 2)
+	serial := core.Params{Delta: 400, Phi: 0}
+	parallel := core.Params{Delta: 400, Phi: 0, Workers: 4}
+
+	want := map[string]bool{}
+	if _, err := s.Query(mo, serial, QueryOptions{ChunkEvents: 128},
+		func(g *temporal.Graph, in *core.Instance) bool {
+			want[instKey(g, in)] = true
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[string]bool{}
+	if _, err := s.Query(mo, parallel, QueryOptions{ChunkEvents: 128},
+		func(g *temporal.Graph, in *core.Instance) bool {
+			mu.Lock()
+			got[instKey(g, in)] = true
+			mu.Unlock()
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(want) == 0 {
+		t.Fatalf("parallel found %d instances, serial %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("parallel missing %s", k)
+		}
+	}
+
+	// Early stop under concurrency: terminates promptly, no error.
+	var n atomic.Int64
+	if _, err := s.Query(mo, parallel, QueryOptions{ChunkEvents: 64},
+		func(*temporal.Graph, *core.Instance) bool {
+			return n.Add(1) < 3
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() < 3 {
+		t.Fatalf("visitor called %d times, want >= 3", n.Load())
+	}
+}
+
+// TestQueryEarlyStop checks that a visitor returning false terminates the
+// scan without error.
+func TestQueryEarlyStop(t *testing.T) {
+	evs := queryEvents(t, 7)
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(evs); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	_, err = s.Query(motif.MustPath(0, 1, 2), core.Params{Delta: 500}, QueryOptions{ChunkEvents: 50},
+		func(*temporal.Graph, *core.Instance) bool {
+			seen++
+			return seen < 5
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("visitor saw %d instances after stop at 5", seen)
+	}
+}

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flowmotif/internal/temporal"
+)
+
+// On-disk format (all integers little-endian).
+//
+// A segment file is a fixed 48-byte header followed by fixed-size event
+// records:
+//
+//	header:  magic "FMSEG001" | sealed u32 | reserved u32 |
+//	         minT i64 | maxT i64 | count i64 | firstSeq i64
+//	record:  payloadLen u32 (=24) | crc32(payload) u32 |
+//	         from u32 | to u32 | t u64 | f u64 (float64 bits)
+//
+// The header of the active (unsealed) segment carries only magic and
+// firstSeq; count/minT/maxT are written once, at seal time, making the
+// sealed header a self-contained [minT, maxT] index entry that lets
+// time-range scans skip whole segments without reading their records.
+// Recovery never trusts an unsealed header: it re-scans the records,
+// validating length and checksum, and truncates the file at the first
+// torn or corrupt record (the tail a crash may leave behind).
+const (
+	segMagic      = "FMSEG001"
+	segHeaderLen  = 48
+	recPayloadLen = 24
+	recLen        = 8 + recPayloadLen
+	segSuffix     = ".seg"
+)
+
+// segmentInfo describes one on-disk segment.
+type segmentInfo struct {
+	path     string
+	index    int64 // numeric file name, monotonically increasing
+	firstSeq int64 // sequence number of the segment's first event
+	count    int64 // events in the segment
+	minT     int64 // smallest event timestamp (undefined when count == 0)
+	maxT     int64 // largest event timestamp (undefined when count == 0)
+	sealed   bool
+}
+
+func (si *segmentInfo) endSeq() int64 { return si.firstSeq + si.count }
+
+func segmentPath(walDir string, index int64) string {
+	return filepath.Join(walDir, fmt.Sprintf("%016d%s", index, segSuffix))
+}
+
+func encodeHeader(buf *[segHeaderLen]byte, si *segmentInfo) {
+	copy(buf[0:8], segMagic)
+	sealed := uint32(0)
+	if si.sealed {
+		sealed = 1
+	}
+	binary.LittleEndian.PutUint32(buf[8:12], sealed)
+	binary.LittleEndian.PutUint32(buf[12:16], 0)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(si.minT))
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(si.maxT))
+	binary.LittleEndian.PutUint64(buf[32:40], uint64(si.count))
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(si.firstSeq))
+}
+
+func decodeHeader(buf []byte, si *segmentInfo) error {
+	if len(buf) < segHeaderLen {
+		return fmt.Errorf("store: segment header truncated (%d bytes)", len(buf))
+	}
+	if string(buf[0:8]) != segMagic {
+		return fmt.Errorf("store: bad segment magic %q", buf[0:8])
+	}
+	si.sealed = binary.LittleEndian.Uint32(buf[8:12]) == 1
+	si.minT = int64(binary.LittleEndian.Uint64(buf[16:24]))
+	si.maxT = int64(binary.LittleEndian.Uint64(buf[24:32]))
+	si.count = int64(binary.LittleEndian.Uint64(buf[32:40]))
+	si.firstSeq = int64(binary.LittleEndian.Uint64(buf[40:48]))
+	return nil
+}
+
+func encodeRecord(buf *[recLen]byte, ev temporal.Event) {
+	binary.LittleEndian.PutUint32(buf[0:4], recPayloadLen)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(ev.From))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(ev.To))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(ev.T))
+	binary.LittleEndian.PutUint64(buf[24:32], math.Float64bits(ev.F))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:recLen]))
+}
+
+// decodeRecord validates length and checksum; ok is false for a torn or
+// corrupt record.
+func decodeRecord(buf []byte) (ev temporal.Event, ok bool) {
+	if len(buf) < recLen {
+		return ev, false
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != recPayloadLen {
+		return ev, false
+	}
+	if binary.LittleEndian.Uint32(buf[4:8]) != crc32.ChecksumIEEE(buf[8:recLen]) {
+		return ev, false
+	}
+	ev.From = temporal.NodeID(binary.LittleEndian.Uint32(buf[8:12]))
+	ev.To = temporal.NodeID(binary.LittleEndian.Uint32(buf[12:16]))
+	ev.T = int64(binary.LittleEndian.Uint64(buf[16:24]))
+	ev.F = math.Float64frombits(binary.LittleEndian.Uint64(buf[24:32]))
+	return ev, true
+}
+
+// segmentWriter is the open active segment.
+type segmentWriter struct {
+	info segmentInfo
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// createSegment starts a new empty active segment and durably records its
+// header (so recovery sees the firstSeq even before the first append).
+// The directory entry is fsynced too: without it a machine crash after a
+// roll could lose the whole new file even though its contents were synced.
+func createSegment(walDir string, index, firstSeq int64) (*segmentWriter, error) {
+	si := segmentInfo{path: segmentPath(walDir, index), index: index, firstSeq: firstSeq}
+	f, err := os.OpenFile(si.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create segment: %w", err)
+	}
+	var hdr [segHeaderLen]byte
+	encodeHeader(&hdr, &si)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: sync segment header: %w", err)
+	}
+	if err := syncDir(walDir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segmentWriter{info: si, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// syncDir fsyncs a directory so freshly created/renamed entries survive a
+// machine crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// append buffers one record and updates the in-memory index bounds.
+func (sw *segmentWriter) append(ev temporal.Event) error {
+	var rec [recLen]byte
+	encodeRecord(&rec, ev)
+	if _, err := sw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	if sw.info.count == 0 {
+		sw.info.minT = ev.T
+	}
+	sw.info.maxT = ev.T
+	sw.info.count++
+	return nil
+}
+
+func (sw *segmentWriter) flush(sync bool) error {
+	if err := sw.w.Flush(); err != nil {
+		return err
+	}
+	if sync {
+		return sw.f.Sync()
+	}
+	return nil
+}
+
+// seal flushes, stamps the final [minT, maxT]/count header and closes the
+// file. The segment is immutable afterwards.
+func (sw *segmentWriter) seal() (segmentInfo, error) {
+	if err := sw.flush(true); err != nil {
+		sw.f.Close()
+		return segmentInfo{}, err
+	}
+	sw.info.sealed = true
+	var hdr [segHeaderLen]byte
+	encodeHeader(&hdr, &sw.info)
+	if _, err := sw.f.WriteAt(hdr[:], 0); err != nil {
+		sw.f.Close()
+		return segmentInfo{}, fmt.Errorf("store: seal segment: %w", err)
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.f.Close()
+		return segmentInfo{}, fmt.Errorf("store: sync sealed segment: %w", err)
+	}
+	if err := sw.f.Close(); err != nil {
+		return segmentInfo{}, err
+	}
+	return sw.info, nil
+}
+
+func (sw *segmentWriter) close(sync bool) error {
+	if err := sw.flush(sync); err != nil {
+		sw.f.Close()
+		return err
+	}
+	return sw.f.Close()
+}
+
+// listSegments returns the segment files of walDir ordered by index.
+func listSegments(walDir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseInt(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(walDir, name), index: idx})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// recoverSegment loads one segment's metadata. Sealed segments with a
+// consistent size are trusted from the header; anything else — the active
+// segment a crash left unsealed, or a sealed header contradicting the file
+// size — is re-scanned record by record and truncated at the first torn or
+// corrupt record. The scan enforces non-decreasing timestamps starting
+// from prevT (the preceding segment's maxT), so cross-segment order
+// corruption is caught too.
+func recoverSegment(si *segmentInfo, prevT int64) error {
+	f, err := os.OpenFile(si.path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var hdr [segHeaderLen]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return err
+	}
+	if n < segHeaderLen {
+		// Crash during creation: no complete header was ever written.
+		return fmt.Errorf("store: segment %s: truncated header", si.path)
+	}
+	idx := si.index
+	path := si.path
+	if err := decodeHeader(hdr[:], si); err != nil {
+		return fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	si.index = idx
+	si.path = path
+
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if si.sealed && st.Size() == segHeaderLen+si.count*recLen {
+		return nil // trusted: sealed and size-consistent
+	}
+
+	// Scan and truncate. (Also heals a sealed header whose size lies.)
+	r := bufio.NewReaderSize(io.NewSectionReader(f, segHeaderLen, st.Size()-segHeaderLen), 1<<16)
+	var rec [recLen]byte
+	valid := int64(0)
+	si.count = 0
+	si.sealed = false
+	lastT := prevT
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			break // clean EOF or torn record header
+		}
+		ev, ok := decodeRecord(rec[:])
+		if !ok || ev.T < lastT {
+			break // corrupt payload or time-order violation: drop the tail
+		}
+		if si.count == 0 {
+			si.minT = ev.T
+		}
+		si.maxT = ev.T
+		lastT = ev.T
+		si.count++
+		valid += recLen
+	}
+	if err := f.Truncate(segHeaderLen + valid); err != nil {
+		return fmt.Errorf("store: truncate segment %s: %w", si.path, err)
+	}
+	// Rewrite the (now unsealed) header so a later crash-free open does not
+	// see a stale sealed flag.
+	encodeHeader(&hdr, si)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// reopenSegment reopens a recovered, unsealed segment for appending.
+func reopenSegment(si segmentInfo) (*segmentWriter, error) {
+	f, err := os.OpenFile(si.path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(segHeaderLen+si.count*recLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segmentWriter{info: si, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// scanSegment streams the records of a segment, starting at the given
+// in-segment offset (record index), to fn; it stops early when fn returns
+// false (reported via the bool return). Checksums are re-validated; a bad
+// record in a supposedly clean region is an error, not a silent stop.
+func scanSegment(si *segmentInfo, skip int64, fn func(seq int64, ev temporal.Event) bool) (bool, error) {
+	f, err := os.Open(si.path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if skip < 0 {
+		skip = 0
+	}
+	end := segHeaderLen + si.count*recLen
+	r := bufio.NewReaderSize(io.NewSectionReader(f, segHeaderLen+skip*recLen, end-(segHeaderLen+skip*recLen)), 1<<16)
+	var rec [recLen]byte
+	for i := skip; i < si.count; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return false, fmt.Errorf("store: segment %s record %d: %w", si.path, i, err)
+		}
+		ev, ok := decodeRecord(rec[:])
+		if !ok {
+			return false, fmt.Errorf("store: segment %s record %d: checksum mismatch", si.path, i)
+		}
+		if !fn(si.firstSeq+i, ev) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -81,6 +81,42 @@ func (m *MemorySink) Recent(sub string, limit int) []*Detection {
 	return out
 }
 
+// MemorySinkState is the serializable content of a MemorySink (detections
+// oldest-first), part of the flowmotifd snapshot payload.
+type MemorySinkState struct {
+	Detections []*Detection `json:"detections"`
+	Total      int64        `json:"total"`
+}
+
+// Snapshot captures the retained detections, oldest first.
+func (m *MemorySink) Snapshot() MemorySinkState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MemorySinkState{Total: m.total}
+	n := len(m.ring)
+	for i := 0; i < n; i++ {
+		// Walk forwards from the oldest retained slot.
+		st.Detections = append(st.Detections, m.ring[(m.next+i)%n])
+	}
+	return st
+}
+
+// Restore replaces the sink content with a snapshot, keeping the sink's
+// own capacity (only the newest detections are retained if it is smaller
+// than the snapshot's).
+func (m *MemorySink) Restore(st MemorySinkState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ring = m.ring[:0]
+	m.next = 0
+	ds := st.Detections
+	if c := cap(m.ring); len(ds) > c {
+		ds = ds[len(ds)-c:]
+	}
+	m.ring = append(m.ring, ds...)
+	m.total = st.Total
+}
+
 // TopKSink keeps, per subscription, the k detections with the highest
 // instance flow seen so far (ties broken towards earlier Start, then
 // earlier End, for determinism). It is safe for concurrent use.
@@ -102,6 +138,10 @@ func NewTopKSink(k int) *TopKSink {
 func (t *TopKSink) Emit(d *Detection) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.emitLocked(d)
+}
+
+func (t *TopKSink) emitLocked(d *Detection) {
 	h := t.subs[d.Sub]
 	if h == nil {
 		h = &detHeap{}
@@ -128,6 +168,37 @@ func (t *TopKSink) Top(sub string) []*Detection {
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return detLess(out[j], out[i]) })
 	return out
+}
+
+// TopKSinkState maps subscription id to its retained detections,
+// best-first, part of the flowmotifd snapshot payload.
+type TopKSinkState map[string][]*Detection
+
+// Snapshot captures the retained detections per subscription, best first.
+func (t *TopKSink) Snapshot() TopKSinkState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TopKSinkState{}
+	for sub, h := range t.subs {
+		out := append([]*Detection(nil), (*h)...)
+		sort.Slice(out, func(i, j int) bool { return detLess(out[j], out[i]) })
+		st[sub] = out
+	}
+	return st
+}
+
+// Restore replaces the sink content with a snapshot, re-ranking under the
+// sink's own k (the weakest detections are dropped if it is smaller than
+// the snapshot's).
+func (t *TopKSink) Restore(st TopKSinkState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.subs = map[string]*detHeap{}
+	for _, ds := range st {
+		for _, d := range ds {
+			t.emitLocked(d)
+		}
+	}
 }
 
 // detLess orders detections worst-first (heap order): by flow, then by

@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowmotif/internal/motif"
+)
+
+func snapshotSubs() []Subscription {
+	return []Subscription{
+		{ID: "chain", Motif: motif.MustPath(0, 1, 2), Delta: 300, Phi: 0},
+		{ID: "tri", Motif: motif.MustPath(0, 1, 2, 0), Delta: 600, Phi: 4},
+	}
+}
+
+// collectSink records detection keys, failing on duplicates.
+func collectSink(t *testing.T, name string, got map[string]bool) Sink {
+	return FuncSink(func(d *Detection) {
+		k := d.Sub + "/" + detKey(d)
+		if got[k] {
+			t.Errorf("%s: duplicate detection %s", name, k)
+		}
+		got[k] = true
+	})
+}
+
+// TestSnapshotRestoreEquivalence interrupts a stream at an arbitrary batch
+// boundary, snapshots the engine, restores it into a fresh engine, and
+// continues. The union of detections emitted before the snapshot and
+// after the restore must equal the uninterrupted run's set exactly — no
+// losses, no duplicates.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	evs := streamEvents(t, 11)
+
+	full := map[string]bool{}
+	ref, err := NewEngine(Config{Subs: snapshotSubs()}, collectSink(t, "full", full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	ref.Flush()
+	if len(full) == 0 {
+		t.Fatal("degenerate test: uninterrupted run detected nothing")
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 4; trial++ {
+		cut := 1 + rng.Intn(len(evs)-1)
+		// Never split a timestamp across the cut: the second engine's
+		// ingest must not reach behind the first's watermark.
+		for cut < len(evs) && evs[cut].T == evs[cut-1].T {
+			cut++
+		}
+		got := map[string]bool{}
+		e1, err := NewEngine(Config{Subs: snapshotSubs()}, collectSink(t, "pre", got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cut; i += 64 {
+			j := i + 64
+			if j > cut {
+				j = cut
+			}
+			if _, err := e1.Ingest(evs[i:j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := e1.Snapshot()
+
+		e2, err := NewEngine(Config{Subs: snapshotSubs()}, collectSink(t, "post", got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.Restore(snap); err != nil {
+			t.Fatalf("restore at cut %d: %v", cut, err)
+		}
+		if cut < len(evs) {
+			if _, err := e2.Ingest(evs[cut:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e2.Flush()
+
+		if len(got) != len(full) {
+			t.Fatalf("cut %d: interrupted run detected %d, uninterrupted %d", cut, len(got), len(full))
+		}
+		for k := range full {
+			if !got[k] {
+				t.Fatalf("cut %d: missing detection %s", cut, k)
+			}
+		}
+		// Engine counters must survive the restore too.
+		st1, st2 := e2.Stats(), ref.Stats()
+		if st1.EventsIngested != st2.EventsIngested || st1.Detections != st2.Detections {
+			t.Fatalf("cut %d: stats diverge: %+v vs %+v", cut, st1, st2)
+		}
+	}
+}
+
+// TestSnapshotRoundTripJSON exercises the serialization path the durable
+// server uses (snapshots cross a JSON boundary on disk).
+func TestSnapshotRestoreValidation(t *testing.T) {
+	evs := streamEvents(t, 13)
+	e1, err := NewEngine(Config{Subs: snapshotSubs()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Ingest(evs[:500]); err != nil {
+		t.Fatal(err)
+	}
+	snap := e1.Snapshot()
+
+	// Restore into a non-fresh engine must fail.
+	if err := e1.Restore(snap); err == nil {
+		t.Fatal("restore into a used engine succeeded")
+	}
+
+	// Restore with mismatched subscriptions must fail and leave the
+	// engine usable.
+	other, err := NewEngine(Config{Subs: []Subscription{
+		{ID: "chain", Motif: motif.MustPath(0, 1, 2), Delta: 300, Phi: 0},
+		{ID: "tri", Motif: motif.MustPath(0, 1, 2, 0), Delta: 999, Phi: 4}, // δ differs
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("restore with mismatched δ succeeded")
+	}
+	if _, err := other.Ingest(evs[:10]); err != nil {
+		t.Fatalf("engine unusable after failed restore: %v", err)
+	}
+
+	// A corrupted log state must be rejected.
+	bad := *snap
+	bad.Log.Appended += 3
+	fresh, err := NewEngine(Config{Subs: snapshotSubs()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(&bad); err == nil {
+		t.Fatal("restore with corrupt log counters succeeded")
+	}
+
+	// Version gating.
+	bad = *snap
+	bad.Version = SnapshotVersion + 1
+	if err := fresh.Restore(&bad); err == nil {
+		t.Fatal("restore of future snapshot version succeeded")
+	}
+}
+
+// TestSinkSnapshotRoundTrip checks the query sinks' snapshot/restore,
+// which the durable server persists alongside the engine.
+func TestSinkSnapshotRoundTrip(t *testing.T) {
+	mk := func(sub string, flow float64, start int64) *Detection {
+		return &Detection{Sub: sub, Flow: flow, Start: start, End: start + 1}
+	}
+
+	mem := NewMemorySink(3)
+	for i := 0; i < 5; i++ {
+		mem.Emit(mk("a", float64(i), int64(i)))
+	}
+	st := mem.Snapshot()
+	if st.Total != 5 || len(st.Detections) != 3 {
+		t.Fatalf("memory snapshot total=%d len=%d, want 5/3", st.Total, len(st.Detections))
+	}
+	mem2 := NewMemorySink(3)
+	mem2.Restore(st)
+	r1, r2 := mem.Recent("", 0), mem2.Recent("", 0)
+	if len(r1) != len(r2) {
+		t.Fatalf("restored ring length %d, want %d", len(r2), len(r1))
+	}
+	for i := range r1 {
+		if r1[i].Start != r2[i].Start {
+			t.Fatalf("restored ring order differs at %d", i)
+		}
+	}
+	if mem2.Total() != 5 {
+		t.Fatalf("restored total = %d, want 5", mem2.Total())
+	}
+	// Emitting after a full-ring restore must overwrite the oldest entry.
+	mem2.Emit(mk("a", 9, 100))
+	if got := mem2.Recent("", 1); got[0].Start != 100 {
+		t.Fatalf("newest after post-restore emit = %v", got[0])
+	}
+	if got := mem2.Recent("", 0); len(got) != 3 {
+		t.Fatalf("ring grew past capacity: %d", len(got))
+	}
+
+	top := NewTopKSink(2)
+	for i := 0; i < 5; i++ {
+		top.Emit(mk("a", float64(i), int64(i)))
+		top.Emit(mk("b", float64(10-i), int64(i)))
+	}
+	top2 := NewTopKSink(2)
+	top2.Restore(top.Snapshot())
+	for _, sub := range []string{"a", "b"} {
+		w, g := top.Top(sub), top2.Top(sub)
+		if len(w) != len(g) {
+			t.Fatalf("sub %s: restored %d, want %d", sub, len(g), len(w))
+		}
+		for i := range w {
+			if w[i].Flow != g[i].Flow {
+				t.Fatalf("sub %s: rank %d flow %g, want %g", sub, i, g[i].Flow, w[i].Flow)
+			}
+		}
+	}
+}

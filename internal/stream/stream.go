@@ -407,14 +407,6 @@ func (e *Engine) Subscriptions() []Subscription {
 	return out
 }
 
-func satAdd(a, b int64) int64 {
-	if b > 0 && a > math.MaxInt64-b {
-		return math.MaxInt64
-	}
-	if b < 0 && a < math.MinInt64-b {
-		return math.MinInt64
-	}
-	return a + b
-}
+func satAdd(a, b int64) int64 { return temporal.SatAdd(a, b) }
 
-func satSub(a, b int64) int64 { return satAdd(a, -b) }
+func satSub(a, b int64) int64 { return temporal.SatSub(a, b) }

@@ -6,6 +6,22 @@ import (
 	"sort"
 )
 
+// SatAdd returns a+b with saturation at the int64 extremes. Streaming and
+// storage code uses it for window arithmetic (anchor ± δ) so sentinel
+// timestamps at the extremes cannot wrap around.
+func SatAdd(a, b int64) int64 {
+	if b > 0 && a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	if b < 0 && a < math.MinInt64-b {
+		return math.MinInt64
+	}
+	return a + b
+}
+
+// SatSub returns a-b with saturation at the int64 extremes.
+func SatSub(a, b int64) int64 { return SatAdd(a, -b) }
+
 // WindowLog is the append/evict event store behind streaming ingestion
 // (internal/stream): a time-ordered log of events over a sliding retention
 // window. Appends must be non-decreasing in T (the stream contract);
@@ -110,6 +126,79 @@ func (l *WindowLog) Range(lo, hi int64) []Event {
 	i := sort.Search(len(live), func(k int) bool { return live[k].T >= lo })
 	j := sort.Search(len(live), func(k int) bool { return live[k].T > hi })
 	return live[i:j]
+}
+
+// WindowLogState is the serializable state of a WindowLog, used by the
+// streaming engine's snapshot/recovery protocol (internal/stream,
+// internal/store). Events holds the retained suffix only; the lifetime
+// counters preserve eviction accounting across a restore.
+type WindowLogState struct {
+	Events    []Event `json:"events"`
+	Appended  int64   `json:"appended"`
+	Evicted   int64   `json:"evicted"`
+	Watermark int64   `json:"watermark"`
+	Started   bool    `json:"started"`
+	NumNodes  int     `json:"numNodes"`
+}
+
+// State snapshots the log. The returned events are a copy; the caller may
+// retain them across later Append/EvictBefore calls.
+func (l *WindowLog) State() WindowLogState {
+	return WindowLogState{
+		Events:    append([]Event(nil), l.events[l.head:]...),
+		Appended:  l.appended,
+		Evicted:   l.evicted,
+		Watermark: l.watermark,
+		Started:   l.started,
+		NumNodes:  l.numNodes,
+	}
+}
+
+// NewWindowLogFromState rebuilds a log from a State snapshot, validating
+// internal consistency (event order and flows, counter arithmetic, the
+// watermark bound) so a corrupted snapshot cannot poison the engine.
+func NewWindowLogFromState(s WindowLogState) (*WindowLog, error) {
+	if s.Appended < 0 || s.Evicted < 0 || s.Appended-s.Evicted != int64(len(s.Events)) {
+		return nil, fmt.Errorf("temporal: log state counters inconsistent: appended=%d evicted=%d retained=%d",
+			s.Appended, s.Evicted, len(s.Events))
+	}
+	if !s.Started && (s.Appended != 0 || len(s.Events) != 0) {
+		return nil, fmt.Errorf("temporal: log state not started but has %d appended events", s.Appended)
+	}
+	maxID := 0
+	prev := int64(math.MinInt64)
+	for i, e := range s.Events {
+		if e.From < 0 || e.To < 0 {
+			return nil, fmt.Errorf("temporal: log state event %d: %w", i, errNegativeNode)
+		}
+		if e.F <= 0 || math.IsNaN(e.F) || math.IsInf(e.F, 0) {
+			return nil, fmt.Errorf("temporal: log state event %d: %w (got %v)", i, errNonPositiveFlow, e.F)
+		}
+		if e.T < prev {
+			return nil, fmt.Errorf("temporal: log state event %d out of order (t=%d after %d)", i, e.T, prev)
+		}
+		prev = e.T
+		if n := int(e.From) + 1; n > maxID {
+			maxID = n
+		}
+		if n := int(e.To) + 1; n > maxID {
+			maxID = n
+		}
+	}
+	if len(s.Events) > 0 && s.Watermark < prev {
+		return nil, fmt.Errorf("temporal: log state watermark %d behind last event t=%d", s.Watermark, prev)
+	}
+	if s.NumNodes < maxID {
+		return nil, fmt.Errorf("temporal: log state universe %d smaller than observed max id %d", s.NumNodes, maxID)
+	}
+	return &WindowLog{
+		events:    append([]Event(nil), s.Events...),
+		numNodes:  s.NumNodes,
+		appended:  s.Appended,
+		evicted:   s.Evicted,
+		watermark: s.Watermark,
+		started:   s.Started,
+	}, nil
 }
 
 // BuildGraph materializes the time-series graph of the events with

@@ -1,0 +1,32 @@
+package flowmotif
+
+import (
+	"flowmotif/internal/store"
+)
+
+// Durable-store re-exports: the persistence layer behind flowmotifd
+// (internal/store). An EventStore is an append-only, checksummed,
+// segmented write-ahead log of interaction events plus engine snapshots;
+// it survives crashes (a torn final record is truncated on open) and
+// powers out-of-core batch queries — Query streams sealed segments through
+// the enumeration in δ-overlapping chunks, producing exactly the
+// FindInstances result over histories larger than RAM.
+type (
+	// EventStore is a durable segmented event store rooted at a directory.
+	EventStore = store.Store
+	// EventStoreOptions parameterizes an EventStore (segment size, fsync
+	// policy, snapshot retention).
+	EventStoreOptions = store.Options
+	// StoreQueryOptions parameterizes an out-of-core Query (chunking).
+	StoreQueryOptions = store.QueryOptions
+	// StoreSnapshot is the on-disk snapshot envelope.
+	StoreSnapshot = store.Snapshot
+	// SegmentStat describes one write-ahead-log segment.
+	SegmentStat = store.SegmentStat
+)
+
+// OpenEventStore opens (creating if necessary) the event store rooted at
+// dir, recovering from any crash-torn write-ahead-log tail.
+func OpenEventStore(dir string, opts EventStoreOptions) (*EventStore, error) {
+	return store.Open(dir, opts)
+}

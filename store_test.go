@@ -1,0 +1,114 @@
+package flowmotif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// storeInstKey serializes an instance independently of the graph snapshot
+// that produced it (out-of-core instances index per-chunk band graphs).
+func storeInstKey(g *Graph, in *Instance) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N%v", in.Nodes)
+	for i, a := range in.Arcs {
+		fmt.Fprintf(&b, "|e%d", i)
+		for _, p := range g.Series(a)[in.Spans[i].Start:in.Spans[i].End] {
+			fmt.Fprintf(&b, ";%d:%g", p.T, p.F)
+		}
+	}
+	return b.String()
+}
+
+// TestEventStoreOutOfCoreEquivalence is the public-API oracle for the
+// durable store: a dataset streamed into an EventStore in chunks, then
+// queried out-of-core with a small chunk budget, must yield exactly the
+// FindInstances result on the fully materialized in-memory graph.
+func TestEventStoreOutOfCoreEquivalence(t *testing.T) {
+	evs, err := GenerateBitcoin(BitcoinConfig{
+		Nodes: 120, SeedTxns: 400, Duration: 15000, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	g, err := NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenEventStore(t.TempDir(), EventStoreOptions{SegmentEvents: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < len(evs); i += 128 {
+		j := i + 128
+		if j > len(evs) {
+			j = len(evs)
+		}
+		if err := st.Append(evs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Seq(); got != int64(len(evs)) {
+		t.Fatalf("store holds %d events, want %d", got, len(evs))
+	}
+	var sealed int
+	for _, sg := range st.Segments() {
+		if sg.Sealed {
+			sealed++
+		}
+	}
+	if sealed == 0 {
+		t.Fatal("degenerate: no sealed segment, the out-of-core path is untested")
+	}
+
+	tri, err := ParseMotif("M(3,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := Chain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		mo *Motif
+		p  Params
+	}{
+		{tri, Params{Delta: 500, Phi: 0}},
+		{chain, Params{Delta: 300, Phi: 3}},
+	} {
+		want, err := FindInstances(g, tc.mo, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKeys := map[string]bool{}
+		for _, in := range want {
+			wantKeys[storeInstKey(g, in)] = true
+		}
+		if len(wantKeys) == 0 {
+			t.Fatalf("degenerate: no batch instances for %s", tc.mo.Name())
+		}
+
+		got := map[string]bool{}
+		stats, err := st.Query(tc.mo, tc.p, StoreQueryOptions{ChunkEvents: 111},
+			func(bg *Graph, in *Instance) bool {
+				got[storeInstKey(bg, in)] = true
+				return true
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Instances != int64(len(got)) || len(got) != len(wantKeys) {
+			t.Fatalf("%s: out-of-core found %d (stats %d), batch found %d",
+				tc.mo.Name(), len(got), stats.Instances, len(wantKeys))
+		}
+		for k := range wantKeys {
+			if !got[k] {
+				t.Fatalf("%s: missing instance %s", tc.mo.Name(), k)
+			}
+		}
+	}
+}

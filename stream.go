@@ -31,6 +31,10 @@ type (
 	MemorySink = stream.MemorySink
 	// TopKSink keeps the best detections per subscription by flow.
 	TopKSink = stream.TopKSink
+	// StreamSnapshot is the serializable state of a StreamEngine; restore
+	// it into a fresh engine and replay the later events to recover an
+	// interrupted run exactly (see EventStore for the durable pipeline).
+	StreamSnapshot = stream.EngineSnapshot
 )
 
 // NewStreamEngine builds a streaming detector over the given subscriptions;
