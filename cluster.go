@@ -1,0 +1,60 @@
+package flowmotif
+
+import (
+	"flowmotif/internal/cluster"
+)
+
+// Cluster re-exports: horizontal scale-out for motif serving
+// (internal/cluster). A coordinator shards the subscription set across N
+// member engines by rendezvous hashing, broadcasts every time-ordered
+// ingest batch to all of them (ingest is a cheap replicated append;
+// per-subscription δ-window enumeration is the partitioned expensive
+// part), and answers queries by scatter-gather: /instances concatenation
+// with watermark alignment and an exact distributed top-k merge. Members
+// can join, drain, and fail at runtime; subscriptions move live via
+// handoffs (finalization bound + catch-up events + sink state), so the
+// cluster serves exactly the instance set of a single engine with the
+// same subscriptions. cmd/flowmotifd serves a coordinator with
+// -cluster-coordinator and members with -member.
+type (
+	// ClusterCoordinator shards subscriptions across member engines.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterConfig parameterizes a coordinator.
+	ClusterConfig = cluster.Config
+	// ClusterMember is one shard engine as the coordinator sees it.
+	ClusterMember = cluster.Member
+	// ClusterLocalMember is the in-process shard implementation.
+	ClusterLocalMember = cluster.LocalMember
+	// ClusterLocalOptions parameterizes an in-process shard.
+	ClusterLocalOptions = cluster.LocalOptions
+	// ClusterHTTPMember drives a remote flowmotifd -member daemon.
+	ClusterHTTPMember = cluster.HTTPMember
+	// ClusterHandoff moves one subscription between members.
+	ClusterHandoff = cluster.Handoff
+	// ClusterStats snapshots cluster progress and per-shard health.
+	ClusterStats = cluster.ClusterStats
+)
+
+// NewCluster builds a coordinator over the given members and places the
+// subscriptions by rendezvous hashing.
+func NewCluster(cfg ClusterConfig) (*ClusterCoordinator, error) {
+	return cluster.New(cfg)
+}
+
+// NewClusterLocalMember builds an empty in-process shard; the coordinator
+// places subscriptions onto it.
+func NewClusterLocalMember(id string, opts ClusterLocalOptions) (*ClusterLocalMember, error) {
+	return cluster.NewLocalMember(id, opts)
+}
+
+// NewClusterHTTPMember builds a client for a remote member daemon.
+func NewClusterHTTPMember(id, baseURL string) *ClusterHTTPMember {
+	return cluster.NewHTTPMember(id, baseURL, nil)
+}
+
+// ClusterPlacement predicts the rendezvous owner of every subscription id
+// over a member set (e.g. to preview the moves a membership change will
+// cause).
+func ClusterPlacement(subIDs, members []string) map[string]string {
+	return cluster.Placement(subIDs, members)
+}

@@ -6,9 +6,16 @@
 //
 //	experiments -scale small -exp all
 //	experiments -scale medium -exp table3,fig8,fig14 -workers 8 -out results/
+//	experiments -bench-cluster -bench-out BENCH_cluster.json
+//
+// -bench-cluster skips the paper experiments and instead measures the
+// cluster layer (internal/cluster): broadcast-ingest throughput and
+// scatter-gather query latency on an in-process shard set, written as a
+// machine-readable JSON report so perf is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,19 +23,29 @@ import (
 	"strings"
 	"time"
 
+	"flowmotif/internal/cluster"
 	"flowmotif/internal/harness"
 )
 
 func main() {
 	var (
-		scale   = flag.String("scale", "small", "tiny | small | medium | large")
-		exps    = flag.String("exp", "all", "comma list: table3,table4,fig8,fig9,fig10,fig11,fig12,fig13,fig14")
-		workers = flag.Int("workers", 8, "parallel workers for sweep counting and significance")
-		runs    = flag.Int("runs", 20, "randomized networks for fig14 (paper: 20)")
-		seed    = flag.Int64("seed", 2019, "seed for fig14 permutations")
-		outDir  = flag.String("out", "", "directory for CSV output (optional)")
+		scale      = flag.String("scale", "small", "tiny | small | medium | large")
+		exps       = flag.String("exp", "all", "comma list: table3,table4,fig8,fig9,fig10,fig11,fig12,fig13,fig14")
+		workers    = flag.Int("workers", 8, "parallel workers for sweep counting and significance")
+		runs       = flag.Int("runs", 20, "randomized networks for fig14 (paper: 20)")
+		seed       = flag.Int64("seed", 2019, "seed for fig14 permutations")
+		outDir     = flag.String("out", "", "directory for CSV output (optional)")
+		benchClust = flag.Bool("bench-cluster", false, "run the cluster ingest/scatter-gather benchmark instead of paper experiments")
+		benchOut   = flag.String("bench-out", "BENCH_cluster.json", "output path for -bench-cluster (JSON)")
+		benchShard = flag.Int("bench-shards", 4, "shard count for -bench-cluster")
+		benchEvs   = flag.Int("bench-events", 60000, "stream length for -bench-cluster")
 	)
 	flag.Parse()
+
+	if *benchClust {
+		runClusterBench(*benchShard, *benchEvs, *seed, *benchOut)
+		return
+	}
 
 	sc, err := harness.ParseScale(*scale)
 	if err != nil {
@@ -127,6 +144,34 @@ func run(name string, f func()) {
 	t0 := time.Now()
 	f()
 	fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+}
+
+// runClusterBench measures the cluster layer and writes the JSON report.
+func runClusterBench(shards, events int, seed int64, out string) {
+	fmt.Printf("cluster bench: %d shards, %d events (seed %d)...\n", shards, events, seed)
+	t0 := time.Now()
+	rep, err := cluster.RunBench(cluster.BenchConfig{
+		Shards: shards,
+		Events: events,
+		Seed:   seed,
+	})
+	if err != nil {
+		fatal(err.Error())
+	}
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err.Error())
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(out, payload, 0o644); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("ingest: %.0f events/sec over %d batches (%d detections)\n",
+		rep.Ingest.EventsPerSec, rep.Ingest.Batches, rep.Ingest.Detections)
+	fmt.Printf("scatter-gather topk: avg %.0fµs p50 %.0fµs p99 %.0fµs\n",
+		rep.TopK.AvgUS, rep.TopK.P50US, rep.TopK.P99US)
+	fmt.Printf("scatter-gather instances: avg %.0fµs\n", rep.Instances.AvgUS)
+	fmt.Printf("wrote %s in %v\n", out, time.Since(t0).Round(time.Millisecond))
 }
 
 func fatal(msg string) {

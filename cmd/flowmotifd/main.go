@@ -7,12 +7,27 @@
 //
 //	flowmotifd -addr :8089 -sub "M(3,3):600:5" -sub "chain3:300:0" \
 //	           [-workers N] [-data-dir DIR [-snapshot-every 5m] [-fsync]]
+//	flowmotifd -member -addr :8090 [-data-dir DIR]           # cluster shard
+//	flowmotifd -cluster-coordinator -shards 3 -sub ...       # local cluster
+//	flowmotifd -cluster-coordinator -join m1=http://h1:8090 \
+//	           -join m2=http://h2:8090 -sub ...              # remote cluster
 //
 // Each -sub registers one detector as motif:delta:phi, where motif is a
 // catalog name ("M(4,4)B"), "chainN"/"cycleN", or a spanning path
 // ("0-1-2-0"); delta is the window duration δ and phi the per-edge-set
 // minimum flow φ (optional, default 0). The subscription id served by the
 // API is "motif/δ/φ" unless -sub is given as id=motif:delta:phi.
+//
+// Cluster roles (see internal/cluster and DESIGN.md §9): -member starts an
+// empty shard whose subscriptions a coordinator places at runtime over
+// POST /cluster/add-sub and /cluster/remove-sub. -cluster-coordinator
+// starts a coordinator that shards the -sub set across its members by
+// rendezvous hashing, broadcasts ingest to all of them, scatter-gathers
+// queries, and fails members over when they stop answering; members come
+// from repeated -join id=url flags (remote daemons), from -shards N
+// (in-process engines, each with its own data dir under -data-dir), or
+// both. The coordinator serves the same data-plane API as a single
+// daemon, plus POST /members/add, /members/remove and /members/fail.
 //
 // With -data-dir the daemon is durable: every acknowledged batch lands in
 // a segmented write-ahead log, engine state is checkpointed periodically
@@ -38,11 +53,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"flowmotif/internal/cluster"
 	"flowmotif/internal/motif"
 	"flowmotif/internal/server"
 	"flowmotif/internal/stream"
@@ -59,6 +76,26 @@ func (s *subFlags) Set(v string) error {
 		return err
 	}
 	*s = append(*s, sub)
+	return nil
+}
+
+// joinFlags collects repeated -join arguments ("id=url" or a bare URL,
+// which takes its host:port as the member id).
+type joinFlags []struct{ id, url string }
+
+func (j *joinFlags) String() string { return fmt.Sprintf("%d members", len(*j)) }
+
+func (j *joinFlags) Set(v string) error {
+	id, u, ok := strings.Cut(v, "=")
+	if !ok {
+		u = v
+		id = strings.TrimPrefix(strings.TrimPrefix(v, "http://"), "https://")
+	}
+	id, u = strings.TrimSpace(id), strings.TrimSpace(u)
+	if id == "" || u == "" {
+		return fmt.Errorf("join %q: want id=url", v)
+	}
+	*j = append(*j, struct{ id, url string }{id, u})
 	return nil
 }
 
@@ -100,6 +137,7 @@ func parseSub(v string) (stream.Subscription, error) {
 
 func main() {
 	var subs subFlags
+	var joins joinFlags
 	var (
 		addr     = flag.String("addr", ":8089", "listen address")
 		workers  = flag.Int("workers", 1, "per-band enumeration parallelism")
@@ -110,12 +148,22 @@ func main() {
 		fsync    = flag.Bool("fsync", false, "fsync the WAL after every acknowledged batch (with -data-dir)")
 		segEvs   = flag.Int("segment-events", 0, "events per WAL segment before sealing (0: default)")
 		snapEach = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (with -data-dir; 0 disables)")
+		member   = flag.Bool("member", false, "cluster shard: start with no subscriptions and serve /cluster handoff endpoints")
+		coord    = flag.Bool("cluster-coordinator", false, "coordinator: shard -sub set across members, broadcast ingest, scatter-gather queries")
+		shards   = flag.Int("shards", 0, "coordinator: run N in-process member engines (per-shard data dirs under -data-dir)")
+		histCap  = flag.Int("history-limit", 0, "coordinator: bound retained broadcast history in events (0: unlimited; bounds failover regeneration)")
 	)
 	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
+	flag.Var(&joins, "join", `coordinator: member daemon "id=http://host:port" (repeatable)`)
 	flag.Parse()
 
-	if len(subs) == 0 {
-		fmt.Fprintln(os.Stderr, `flowmotifd: at least one -sub required, e.g. -sub "M(3,3):600:5"`)
+	if *coord {
+		runCoordinator(*addr, subs, joins, *shards, *workers, *recent, *topk, *dataDir, *fsync, *histCap)
+		return
+	}
+
+	if len(subs) == 0 && !*member {
+		fmt.Fprintln(os.Stderr, `flowmotifd: at least one -sub required (or -member), e.g. -sub "M(3,3):600:5"`)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -129,6 +177,7 @@ func main() {
 		DataDir:       *dataDir,
 		SyncWrites:    *fsync,
 		SegmentEvents: *segEvs,
+		Member:        *member,
 	})
 	if err != nil {
 		log.Fatalf("flowmotifd: %v", err)
@@ -136,6 +185,9 @@ func main() {
 
 	for _, sub := range srv.Engine().Subscriptions() {
 		log.Printf("detector %s: %v δ=%d φ=%g", sub.ID, sub.Motif, sub.Delta, sub.Phi)
+	}
+	if *member {
+		log.Printf("cluster member mode: awaiting subscription placement")
 	}
 	if srv.Durable() {
 		rec := srv.Recovery()
@@ -198,4 +250,78 @@ func main() {
 	}
 	st := srv.Engine().Stats()
 	log.Printf("final: %d events ingested, %d detections", st.EventsIngested, st.Detections)
+}
+
+// runCoordinator starts the cluster-coordinator role: -shards in-process
+// members and/or -join remote member daemons behind one coordinator
+// serving the flowmotifd API.
+func runCoordinator(addr string, subs subFlags, joins joinFlags, shards, workers, recent, topk int, dataDir string, fsync bool, histCap int) {
+	if len(subs) == 0 {
+		log.Fatalf("flowmotifd: coordinator needs at least one -sub")
+	}
+	if shards <= 0 && len(joins) == 0 {
+		log.Fatalf("flowmotifd: coordinator needs members: -shards N and/or -join id=url")
+	}
+	var members []cluster.Member
+	var locals []*cluster.LocalMember
+	for i := 0; i < shards; i++ {
+		opts := cluster.LocalOptions{Workers: workers, Recent: recent, TopK: topk, SyncWrites: fsync}
+		if dataDir != "" {
+			opts.DataDir = filepath.Join(dataDir, fmt.Sprintf("shard-%d", i))
+		}
+		lm, err := cluster.NewLocalMember(fmt.Sprintf("shard-%d", i), opts)
+		if err != nil {
+			log.Fatalf("flowmotifd: shard %d: %v", i, err)
+		}
+		members = append(members, lm)
+		locals = append(locals, lm)
+	}
+	for _, j := range joins {
+		members = append(members, cluster.NewHTTPMember(j.id, j.url, nil))
+	}
+	c, err := cluster.New(cluster.Config{
+		Members:      members,
+		Subs:         subs,
+		HistoryLimit: histCap,
+	})
+	if err != nil {
+		log.Fatalf("flowmotifd: cluster: %v", err)
+	}
+	for sub, owner := range c.Placement() {
+		log.Printf("placed %s on %s", sub, owner)
+	}
+	if histCap <= 0 {
+		log.Printf("history: unbounded — the full broadcast stream is retained in memory for lossless failover; bound it with -history-limit N (failover then regenerates only the newest N events)")
+	}
+
+	cs := server.NewCoordinator(c, 0)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           cs.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("coordinator shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(done)
+	}()
+	log.Printf("flowmotifd coordinator listening on %s (%d members, %d subscriptions)",
+		addr, len(members), len(subs))
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("flowmotifd: %v", err)
+	}
+	<-done
+	for _, lm := range locals {
+		if err := lm.Close(); err != nil {
+			log.Printf("shard %s close: %v", lm.ID(), err)
+		}
+	}
+	st := c.Stats()
+	log.Printf("final: %d events broadcast, %d moves, %d downs", st.Events, st.Moves, st.Downs)
 }

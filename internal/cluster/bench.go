@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flowmotif/internal/gen"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// BenchConfig parameterizes RunBench.
+type BenchConfig struct {
+	// Shards is the member count (default 4).
+	Shards int
+	// Events is the synthetic stream length (default 60000).
+	Events int
+	// BatchSize is the broadcast batch size (default 512).
+	BatchSize int
+	// TopKIters is how many scatter-gather top-k queries to time
+	// (default 200).
+	TopKIters int
+	// Seed drives the synthetic generator (default 2019).
+	Seed int64
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	out := c
+	if out.Shards <= 0 {
+		out.Shards = 4
+	}
+	if out.Events <= 0 {
+		out.Events = 60000
+	}
+	if out.BatchSize <= 0 {
+		out.BatchSize = 512
+	}
+	if out.TopKIters <= 0 {
+		out.TopKIters = 200
+	}
+	if out.Seed == 0 {
+		out.Seed = 2019
+	}
+	return out
+}
+
+// BenchReport is the machine-readable cluster benchmark result
+// (BENCH_cluster.json at the repo root; tracked across PRs).
+type BenchReport struct {
+	Config struct {
+		Shards        int   `json:"shards"`
+		Subscriptions int   `json:"subscriptions"`
+		Events        int   `json:"events"`
+		BatchSize     int   `json:"batch_size"`
+		Seed          int64 `json:"seed"`
+	} `json:"config"`
+	Ingest struct {
+		Events       int     `json:"events"`
+		Batches      int     `json:"batches"`
+		Seconds      float64 `json:"seconds"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		Detections   int64   `json:"detections"`
+	} `json:"ingest"`
+	TopK struct {
+		Iters int     `json:"iters"`
+		K     int     `json:"k"`
+		AvgUS float64 `json:"avg_us"`
+		P50US float64 `json:"p50_us"`
+		P99US float64 `json:"p99_us"`
+	} `json:"scatter_gather_topk"`
+	Instances struct {
+		Iters int     `json:"iters"`
+		Limit int     `json:"limit"`
+		AvgUS float64 `json:"avg_us"`
+	} `json:"scatter_gather_instances"`
+}
+
+// benchStream builds the synthetic benchmark stream, time-ordered.
+func benchStream(cfg BenchConfig) ([]temporal.Event, error) {
+	evs, err := gen.Bitcoin(gen.BitcoinConfig{
+		Nodes:    2000,
+		SeedTxns: cfg.Events / 4,
+		Duration: 500000,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	if len(evs) > cfg.Events {
+		evs = evs[:cfg.Events]
+	}
+	return evs, nil
+}
+
+// benchSubs is the benchmark workload: the full catalog at one (δ, φ).
+func benchSubs() []stream.Subscription {
+	var subs []stream.Subscription
+	for _, mo := range motif.Catalog() {
+		subs = append(subs, stream.Subscription{
+			ID:    mo.Name() + "/bench",
+			Motif: mo,
+			Delta: 600,
+			Phi:   2,
+		})
+	}
+	return subs
+}
+
+// RunBench measures broadcast-ingest throughput and scatter-gather query
+// latency on an in-process cluster — the tracked perf trajectory for the
+// cluster layer (cmd/experiments -bench-cluster writes the report to
+// BENCH_cluster.json).
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	evs, err := benchStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	subs := benchSubs()
+	members := make([]Member, cfg.Shards)
+	for i := range members {
+		m, err := NewLocalMember(fmt.Sprintf("bench-%d", i), LocalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		members[i] = m
+	}
+	c, err := New(Config{Members: members, Subs: subs, HistoryLimit: 4 * cfg.BatchSize})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &BenchReport{}
+	rep.Config.Shards = cfg.Shards
+	rep.Config.Subscriptions = len(subs)
+	rep.Config.Events = len(evs)
+	rep.Config.BatchSize = cfg.BatchSize
+	rep.Config.Seed = cfg.Seed
+
+	batches := 0
+	start := time.Now()
+	for i := 0; i < len(evs); i += cfg.BatchSize {
+		end := i + cfg.BatchSize
+		if end > len(evs) {
+			end = len(evs)
+		}
+		if _, err := c.Ingest(evs[i:end]); err != nil {
+			return nil, err
+		}
+		batches++
+	}
+	elapsed := time.Since(start)
+	if _, err := c.Flush(); err != nil {
+		return nil, err
+	}
+	st := c.Stats()
+	rep.Ingest.Events = len(evs)
+	rep.Ingest.Batches = batches
+	rep.Ingest.Seconds = elapsed.Seconds()
+	rep.Ingest.EventsPerSec = float64(len(evs)) / elapsed.Seconds()
+	for _, m := range st.Members {
+		rep.Ingest.Detections += m.Detections
+	}
+
+	const k = 10
+	lat := make([]float64, cfg.TopKIters)
+	for i := range lat {
+		q := time.Now()
+		if _, _, err := c.TopK("", k); err != nil {
+			return nil, err
+		}
+		lat[i] = float64(time.Since(q).Microseconds())
+	}
+	sort.Float64s(lat)
+	sum := 0.0
+	for _, v := range lat {
+		sum += v
+	}
+	rep.TopK.Iters = cfg.TopKIters
+	rep.TopK.K = k
+	rep.TopK.AvgUS = sum / float64(len(lat))
+	rep.TopK.P50US = lat[len(lat)/2]
+	rep.TopK.P99US = lat[len(lat)*99/100]
+
+	const limit = 100
+	iters := cfg.TopKIters / 2
+	if iters < 1 {
+		iters = 1
+	}
+	sum = 0.0
+	for i := 0; i < iters; i++ {
+		q := time.Now()
+		if _, _, err := c.Instances("", limit); err != nil {
+			return nil, err
+		}
+		sum += float64(time.Since(q).Microseconds())
+	}
+	rep.Instances.Iters = iters
+	rep.Instances.Limit = limit
+	rep.Instances.AvgUS = sum / float64(iters)
+	return rep, nil
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// benchCluster builds an N-shard cluster over the full catalog and
+// pre-ingests the synthetic stream.
+func benchCluster(b *testing.B, shards int, preload []temporal.Event) *Coordinator {
+	b.Helper()
+	members := make([]Member, shards)
+	for i := range members {
+		m, err := NewLocalMember(fmt.Sprintf("m%d", i), LocalOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		members[i] = m
+	}
+	c, err := New(Config{Members: members, Subs: benchSubs(), HistoryLimit: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < len(preload); i += 512 {
+		end := i + 512
+		if end > len(preload) {
+			end = len(preload)
+		}
+		if _, err := c.Ingest(preload[i:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkClusterIngest measures broadcast-ingest throughput (events/sec
+// in b.N terms) on a 4-shard cluster over the full catalog.
+func BenchmarkClusterIngest(b *testing.B) {
+	evs, err := benchStream(BenchConfig{Events: 1 << 17, Seed: 2019}.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := benchCluster(b, 4, nil)
+	const batch = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	shift := int64(0)
+	maxT := evs[len(evs)-1].T + 1
+	scratch := make([]temporal.Event, batch)
+	for n := 0; n < b.N; n += batch {
+		if i+batch > len(evs) {
+			// Wrap by shifting timestamps forward so the stream contract
+			// (non-decreasing time) holds across laps.
+			i = 0
+			shift += maxT
+		}
+		copy(scratch, evs[i:i+batch])
+		if shift > 0 {
+			for j := range scratch {
+				scratch[j].T += shift
+			}
+		}
+		if _, err := c.Ingest(scratch); err != nil {
+			b.Fatal(err)
+		}
+		i += batch
+	}
+	b.StopTimer()
+	st := c.Stats()
+	b.ReportMetric(float64(st.Events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkScatterGatherTopK measures the global top-k gather (all shards,
+// merged) on a warm 4-shard cluster.
+func BenchmarkScatterGatherTopK(b *testing.B) {
+	evs, err := benchStream(BenchConfig{Events: 1 << 15, Seed: 2019}.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := benchCluster(b, 4, evs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink []*stream.Detection
+	for n := 0; n < b.N; n++ {
+		ds, _, err := c.TopK("", 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = ds
+	}
+	_ = sink
+}

@@ -1,0 +1,830 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Members are the initial shard engines (at least one).
+	Members []Member
+	// Subs are the subscriptions to place across the members.
+	Subs []stream.Subscription
+	// Retries is how many times a failing member call is retried before
+	// the member is marked down (default 2).
+	Retries int
+	// RetryDelay is the pause between retries (default 25ms; in-process
+	// tests set it near zero).
+	RetryDelay time.Duration
+	// HistoryLimit bounds the coordinator's retained broadcast history in
+	// events (0: unlimited). The history is the failover catch-up source:
+	// a subscription re-placed after its member died is regenerated from
+	// it, so with an unlimited history failover loses nothing, while a
+	// bounded history trades memory for detections older than the bound.
+	HistoryLimit int
+}
+
+// memberState tracks one registered member.
+type memberState struct {
+	m     Member
+	subs  map[string]bool // subscription ids owned
+	acked int64           // watermark of the last acknowledged broadcast
+}
+
+// Coordinator partitions subscriptions across member engines and fans
+// ingest and queries out to them. Mutating operations (Ingest, Flush,
+// membership changes, failover) are serialized; queries run concurrently
+// with ingest and align results to the slowest shard's watermark.
+type Coordinator struct {
+	retries    int
+	retryDelay time.Duration
+	histLimit  int
+
+	// ingestMu serializes broadcast order and membership/placement
+	// changes; always acquired before mu.
+	ingestMu sync.Mutex
+	// mu guards the fields below for concurrent readers (queries, stats).
+	mu       sync.Mutex
+	members  map[string]*memberState
+	subs     map[string]stream.Subscription
+	owner    map[string]string // subID -> memberID
+	unplaced map[string]bool   // subs that lost their member with no survivor
+
+	history     []temporal.Event // broadcast history (failover catch-up)
+	histDropped int64            // events trimmed off the history head
+
+	watermark int64
+	started   bool
+	minNextT  int64
+	maxDelta  int64
+	batches   int64
+	events    int64
+	downs     int64 // members marked down
+	moves     int64 // subscription re-placements
+}
+
+// New builds a coordinator over the given members and places the
+// subscriptions by rendezvous hashing. Member failures during construction
+// are fatal (there is nothing to fail over from yet).
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("cluster: at least one member required")
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 25 * time.Millisecond
+	}
+	c := &Coordinator{
+		retries:    cfg.Retries,
+		retryDelay: cfg.RetryDelay,
+		histLimit:  cfg.HistoryLimit,
+		members:    map[string]*memberState{},
+		subs:       map[string]stream.Subscription{},
+		owner:      map[string]string{},
+		unplaced:   map[string]bool{},
+		minNextT:   math.MinInt64,
+	}
+	for _, m := range cfg.Members {
+		if m.ID() == "" {
+			return nil, errors.New("cluster: member with empty id")
+		}
+		if _, dup := c.members[m.ID()]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID())
+		}
+		c.members[m.ID()] = &memberState{m: m, subs: map[string]bool{}, acked: math.MinInt64}
+	}
+	for i, sub := range cfg.Subs {
+		if sub.Motif == nil {
+			return nil, fmt.Errorf("cluster: subscription %d: nil motif", i)
+		}
+		if sub.ID == "" {
+			sub.ID = sub.Motif.Name()
+		}
+		if _, dup := c.subs[sub.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate subscription id %q", sub.ID)
+		}
+		c.subs[sub.ID] = sub
+		if sub.Delta > c.maxDelta {
+			c.maxDelta = sub.Delta
+		}
+	}
+	ids := c.memberIDsLocked()
+	for _, subID := range sortedKeys(c.subs) {
+		target := rendezvousOwner(subID, ids)
+		h := Handoff{Sub: SpecOf(c.subs[subID])}
+		if err := c.members[target].m.AddSubscription(h); err != nil {
+			return nil, fmt.Errorf("cluster: placing %q on %q: %w", subID, target, err)
+		}
+		c.members[target].subs[subID] = true
+		c.owner[subID] = target
+	}
+	return c, nil
+}
+
+func (c *Coordinator) memberIDsLocked() []string {
+	return sortedKeys(c.members)
+}
+
+// retry calls fn up to 1+Retries times while it keeps failing with
+// ErrMemberDown; any other outcome returns immediately. Only *idempotent*
+// member calls may be retried: queries, stats, and Flush (a second flush
+// at the same watermark is a no-op). Ingest and the handoff calls are
+// deliberately single-attempt — a member may have applied them before the
+// ack was lost, and resending would be rejected as a semantic error
+// (behind-frontier, duplicate subscription), wedging the cluster. For
+// those, a transport failure marks the member down instead; failover
+// regeneration from history is safe regardless of whether the lost call
+// was applied.
+func (c *Coordinator) retry(fn func() error) error {
+	var err error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if err = fn(); !errors.Is(err, ErrMemberDown) {
+			return err
+		}
+		if attempt < c.retries {
+			time.Sleep(c.retryDelay)
+		}
+	}
+	return err
+}
+
+// validateBatch replicates the engines' batch admission rules so the
+// coordinator rejects a bad batch before broadcasting — keeping members in
+// lockstep is what makes per-member semantic errors impossible (every
+// member applies identical rules to the identical stream). The returned
+// slice is a sorted copy.
+func (c *Coordinator) validateBatch(events []temporal.Event) ([]temporal.Event, error) {
+	batch := append([]temporal.Event(nil), events...)
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].T < batch[j].T })
+	if batch[0].T < c.minNextT {
+		return nil, fmt.Errorf("%w: batch reaches back to t=%d, cluster frontier is %d",
+			stream.ErrBehindFrontier, batch[0].T, c.minNextT)
+	}
+	for i := range batch {
+		ev := &batch[i]
+		if ev.From < 0 || ev.To < 0 {
+			return nil, fmt.Errorf("cluster: batch event %d: negative node id", i)
+		}
+		if ev.F <= 0 || math.IsNaN(ev.F) || math.IsInf(ev.F, 0) {
+			return nil, fmt.Errorf("cluster: batch event %d: flow must be positive and finite (got %v)", i, ev.F)
+		}
+	}
+	return batch, nil
+}
+
+// Ingest broadcasts one batch to every member. The batch is applied by all
+// live members (each a full engine over the whole stream); members that
+// keep failing after retries are marked down and their subscriptions are
+// re-placed onto survivors, regenerated from the coordinator's history, so
+// the batch is never partially visible per subscription. Returns the
+// aggregate ack (detections summed over members).
+func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
+	if len(events) == 0 {
+		return IngestAck{Watermark: c.Watermark()}, nil
+	}
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	if len(c.members) == 0 {
+		return IngestAck{}, ErrNoMembers
+	}
+	batch, err := c.validateBatch(events)
+	if err != nil {
+		return IngestAck{}, err
+	}
+	type result struct {
+		id  string
+		ack IngestAck
+		err error
+	}
+	c.mu.Lock()
+	states := make([]*memberState, 0, len(c.members))
+	for _, id := range c.memberIDsLocked() {
+		states = append(states, c.members[id])
+	}
+	c.mu.Unlock()
+	results := make([]result, len(states))
+	var wg sync.WaitGroup
+	for i, ms := range states {
+		wg.Add(1)
+		go func(i int, ms *memberState) {
+			defer wg.Done()
+			// Single attempt: ingest is not idempotent (a member that
+			// applied the batch but lost the ack would reject a resend as
+			// behind-frontier). A transport failure marks the member down;
+			// history regeneration makes that safe either way.
+			ack, err := ms.m.Ingest(batch)
+			results[i] = result{id: ms.m.ID(), ack: ack, err: err}
+		}(i, ms)
+	}
+	wg.Wait()
+
+	var failed []string
+	agg := IngestAck{Ingested: len(batch)}
+	for i, r := range results {
+		switch {
+		case r.err == nil:
+			states[i].acked = r.ack.Watermark
+			agg.Detections += r.ack.Detections
+		case errors.Is(r.err, ErrMemberDown):
+			failed = append(failed, r.id)
+		default:
+			// A semantic rejection the coordinator's own validation did not
+			// predict means the cluster has diverged from the engines'
+			// admission rules — fail loudly instead of guessing.
+			return IngestAck{}, fmt.Errorf("cluster: member %s rejected a validated batch: %w", r.id, r.err)
+		}
+	}
+	if len(failed) == len(states) {
+		return IngestAck{}, fmt.Errorf("%w: all %d members failed the broadcast", ErrNoMembers, len(states))
+	}
+
+	last := batch[len(batch)-1].T
+	c.mu.Lock()
+	c.history = append(c.history, batch...)
+	c.trimHistoryLocked()
+	c.watermark = last
+	c.started = true
+	c.minNextT = last
+	c.batches++
+	c.events += int64(len(batch))
+	c.mu.Unlock()
+	agg.Watermark = last
+
+	if len(failed) > 0 {
+		if err := c.failLocked(failed); err != nil {
+			return agg, err
+		}
+	}
+	return agg, nil
+}
+
+// Flush broadcasts the end-of-stream marker: every member closes its
+// still-open windows. Later batches must clear the watermark by more than
+// the largest subscription δ cluster-wide.
+func (c *Coordinator) Flush() (IngestAck, error) {
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	if len(c.members) == 0 {
+		return IngestAck{}, ErrNoMembers
+	}
+	c.mu.Lock()
+	states := make([]*memberState, 0, len(c.members))
+	for _, id := range c.memberIDsLocked() {
+		states = append(states, c.members[id])
+	}
+	c.mu.Unlock()
+	var agg IngestAck
+	var failed []string
+	for _, ms := range states {
+		var ack IngestAck
+		err := c.retry(func() error {
+			var e error
+			ack, e = ms.m.Flush()
+			return e
+		})
+		if errors.Is(err, ErrMemberDown) {
+			failed = append(failed, ms.m.ID())
+			continue
+		}
+		if err != nil {
+			return IngestAck{}, err
+		}
+		agg.Detections += ack.Detections
+	}
+	if len(failed) == len(states) {
+		return IngestAck{}, fmt.Errorf("%w: all %d members failed the flush", ErrNoMembers, len(states))
+	}
+	c.mu.Lock()
+	if c.started {
+		if m := temporal.SatAdd(c.watermark, c.maxDelta+1); m > c.minNextT {
+			c.minNextT = m
+		}
+	}
+	agg.Watermark = c.watermark
+	c.mu.Unlock()
+	if len(failed) > 0 {
+		if err := c.failLocked(failed); err != nil {
+			return agg, err
+		}
+		// The re-placed subscriptions were regenerated on members that had
+		// already flushed, so close their windows too. Terminal bands are
+		// only re-enumerated for the moved subscriptions (the survivors'
+		// own emitted bounds are already at the watermark).
+		c.mu.Lock()
+		states = states[:0]
+		for _, id := range c.memberIDsLocked() {
+			states = append(states, c.members[id])
+		}
+		c.mu.Unlock()
+		for _, ms := range states {
+			if ack, err := ms.m.Flush(); err == nil {
+				agg.Detections += ack.Detections
+			}
+		}
+	}
+	return agg, nil
+}
+
+// trimHistoryLocked enforces HistoryLimit; the caller holds mu.
+func (c *Coordinator) trimHistoryLocked() {
+	if c.histLimit <= 0 || len(c.history) <= c.histLimit {
+		return
+	}
+	drop := len(c.history) - c.histLimit
+	c.histDropped += int64(drop)
+	c.history = append(c.history[:0:0], c.history[drop:]...)
+}
+
+// failLocked marks members down and re-places their subscriptions onto
+// survivors, regenerating each from the coordinator's broadcast history.
+// The caller holds ingestMu. Cascading failures (a re-placement target
+// dying mid-handoff) feed back into the queue until every subscription is
+// placed or no member remains; a subscription whose re-placement is
+// rejected semantically stays parked as unplaced (adopted by the next
+// AddMember) and is reported in the returned error without aborting the
+// rest of the queue.
+func (c *Coordinator) failLocked(ids []string) error {
+	var errs []error
+	queue := append([]string(nil), ids...)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		c.mu.Lock()
+		ms, ok := c.members[id]
+		if !ok {
+			c.mu.Unlock()
+			continue
+		}
+		delete(c.members, id)
+		c.downs++
+		orphans := sortedKeys(ms.subs)
+		// Unown the orphans immediately: until re-placement succeeds they
+		// are unplaced, never owner entries pointing at a deleted member
+		// (queries for them fail cleanly instead of dereferencing it).
+		for _, subID := range orphans {
+			delete(c.owner, subID)
+			c.unplaced[subID] = true
+		}
+		survivors := c.memberIDsLocked()
+		c.mu.Unlock()
+		// Index loop: a target dying mid-handoff re-queues the subscription
+		// by appending to orphans, which a range clause would never visit.
+		for i := 0; i < len(orphans); i++ {
+			subID := orphans[i]
+			target, err := c.replaceLocked(subID, survivors)
+			if err != nil {
+				if target != "" {
+					// The chosen target died mid-handoff: fail it too and
+					// retry this subscription against the rest.
+					queue = append(queue, target)
+					orphans = append(orphans, subID)
+					c.mu.Lock()
+					survivors = nil
+					for _, sid := range c.memberIDsLocked() {
+						if sid != target {
+							survivors = append(survivors, sid)
+						}
+					}
+					c.mu.Unlock()
+					continue
+				}
+				// Semantic rejection: the subscription stays unplaced
+				// (replaceLocked parked it); keep draining the queue.
+				errs = append(errs, err)
+			}
+		}
+	}
+	c.mu.Lock()
+	if len(c.members) == 0 && len(c.subs) > 0 {
+		errs = append(errs, fmt.Errorf("%w: %d subscriptions unplaced", ErrNoMembers, len(c.unplaced)))
+	}
+	c.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// replaceLocked re-creates one subscription (whose previous member is
+// gone) on a survivor, regenerated from the coordinator's history. It
+// returns the chosen target with a non-nil error when the target itself
+// failed, so the caller can cascade; on a semantic rejection the
+// subscription stays parked as unplaced (a later AddMember adopts it)
+// rather than being dropped. The caller holds ingestMu.
+func (c *Coordinator) replaceLocked(subID string, survivors []string) (string, error) {
+	c.mu.Lock()
+	sub, ok := c.subs[subID]
+	if !ok {
+		c.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrUnknownSub, subID)
+	}
+	delete(c.owner, subID)
+	c.unplaced[subID] = true
+	target := rendezvousOwner(subID, survivors)
+	if target == "" {
+		c.mu.Unlock()
+		return "", nil
+	}
+	h := Handoff{Sub: SpecOf(sub)}
+	if len(c.history) > 0 {
+		h.Primed = true
+		h.Emitted = temporal.SatSub(c.history[0].T, 1)
+		h.Catchup = append([]temporal.Event(nil), c.history...)
+	}
+	tm := c.members[target]
+	c.mu.Unlock()
+	// Single attempt: AddSubscription is not idempotent (a resend after a
+	// lost ack would be rejected as a duplicate).
+	if err := tm.m.AddSubscription(h); err != nil {
+		if errors.Is(err, ErrMemberDown) {
+			return target, err
+		}
+		return "", fmt.Errorf("cluster: re-placing %q on %q: %w", subID, target, err)
+	}
+	c.mu.Lock()
+	tm.subs[subID] = true
+	c.owner[subID] = target
+	delete(c.unplaced, subID)
+	c.moves++
+	c.mu.Unlock()
+	return target, nil
+}
+
+// FailMember marks a member down immediately (without waiting for a
+// broadcast to it to fail) and re-places its subscriptions. The member's
+// already-reported detections are regenerated on the survivors from the
+// coordinator's history.
+func (c *Coordinator) FailMember(id string) error {
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	c.mu.Lock()
+	_, ok := c.members[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: unknown member %q", id)
+	}
+	return c.failLocked([]string{id})
+}
+
+// AddMember registers a new member and rebalances: rendezvous hashing
+// moves exactly the subscriptions the new member now wins, each handed off
+// live (finalization bound + catch-up events + sink state) from its
+// current owner. Ingest is quiesced for the duration.
+func (c *Coordinator) AddMember(m Member) error {
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	c.mu.Lock()
+	if _, dup := c.members[m.ID()]; dup || m.ID() == "" {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: member id %q empty or already registered", m.ID())
+	}
+	c.members[m.ID()] = &memberState{m: m, subs: map[string]bool{}, acked: math.MinInt64}
+	ids := c.memberIDsLocked()
+	subIDs := sortedKeys(c.subs)
+	c.mu.Unlock()
+
+	// Give previously unplaced subscriptions (a total-failure remnant) a
+	// home first: they regenerate from history.
+	c.mu.Lock()
+	orphans := sortedKeys(c.unplaced)
+	c.mu.Unlock()
+	for _, subID := range orphans {
+		if _, err := c.replaceLocked(subID, ids); err != nil {
+			return err
+		}
+	}
+
+	for _, subID := range subIDs {
+		c.mu.Lock()
+		from, placed := c.owner[subID]
+		c.mu.Unlock()
+		if !placed {
+			continue
+		}
+		target := rendezvousOwner(subID, ids)
+		if target == from {
+			continue
+		}
+		if err := c.moveLocked(subID, from, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveMember drains a member gracefully: every subscription it owns is
+// handed off live to its rendezvous owner among the remaining members,
+// then the member is deregistered (the caller keeps the Member object and
+// may close it). Removing the last member while subscriptions exist is
+// refused.
+func (c *Coordinator) RemoveMember(id string) error {
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	c.mu.Lock()
+	ms, ok := c.members[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: unknown member %q", id)
+	}
+	if len(c.members) == 1 && len(c.subs) > 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot drain the last member (%d subscriptions placed)", len(c.subs))
+	}
+	owned := sortedKeys(ms.subs)
+	var rest []string
+	for _, mid := range c.memberIDsLocked() {
+		if mid != id {
+			rest = append(rest, mid)
+		}
+	}
+	c.mu.Unlock()
+	for _, subID := range owned {
+		target := rendezvousOwner(subID, rest)
+		if err := c.moveLocked(subID, id, target); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	delete(c.members, id)
+	c.mu.Unlock()
+	return nil
+}
+
+// moveLocked hands one subscription off between two live members. If the
+// source turns out to be dead, the move degrades to a history-regenerated
+// re-placement (failover semantics); if the installation on the target
+// fails, the handoff is restored to the source, and when even that is
+// impossible the subscription is parked as unplaced (adopted by the next
+// AddMember) rather than dropped. The caller holds ingestMu. Handoff
+// calls are single-attempt — neither RemoveSubscription nor
+// AddSubscription is idempotent under a lost ack.
+func (c *Coordinator) moveLocked(subID, from, to string) error {
+	c.mu.Lock()
+	src, okFrom := c.members[from]
+	dst, okTo := c.members[to]
+	c.mu.Unlock()
+	if !okFrom || !okTo {
+		return fmt.Errorf("cluster: move %q: member missing (%s -> %s)", subID, from, to)
+	}
+	h, err := src.m.RemoveSubscription(subID)
+	if errors.Is(err, ErrMemberDown) {
+		return c.failLocked([]string{from})
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: move %q off %q: %w", subID, from, err)
+	}
+	c.mu.Lock()
+	delete(src.subs, subID)
+	delete(c.owner, subID)
+	c.unplaced[subID] = true // in flight; cleared on successful install
+	c.mu.Unlock()
+	place := func(ms *memberState, id string) bool {
+		if err := ms.m.AddSubscription(h); err != nil {
+			return false
+		}
+		c.mu.Lock()
+		ms.subs[subID] = true
+		c.owner[subID] = id
+		delete(c.unplaced, subID)
+		c.moves++
+		c.mu.Unlock()
+		return true
+	}
+	if place(dst, to) {
+		return nil
+	}
+	// Installation on the target failed (down or rejected): put the
+	// handoff back on the live source.
+	if place(src, from) {
+		return c.failLocked([]string{to})
+	}
+	// Both sides refused: the subscription stays unplaced and will be
+	// regenerated from history by the next AddMember.
+	return fmt.Errorf("cluster: move %q: install failed on %q and restore failed on %q; parked unplaced",
+		subID, to, from)
+}
+
+// Instances answers the recent-detections query. With sub set it routes to
+// the owning shard; with sub empty it scatter-gathers every shard,
+// aligns to the slowest shard's watermark, and concatenates newest-first.
+// Returns the detections and the watermark they are aligned to.
+func (c *Coordinator) Instances(sub string, limit int) ([]*stream.Detection, int64, error) {
+	if sub != "" {
+		m, err := c.ownerOf(sub)
+		if err != nil {
+			return nil, 0, err
+		}
+		var r QueryResult
+		if err := c.retry(func() error {
+			var e error
+			r, e = m.Instances(sub, limit)
+			return e
+		}); err != nil {
+			return nil, 0, err
+		}
+		return r.Detections, r.Watermark, nil
+	}
+	results, err := c.gather(func(m Member) (QueryResult, error) { return m.Instances("", limit) })
+	if err != nil {
+		return nil, 0, err
+	}
+	alignedW, lists := alignWatermark(results)
+	return mergeRecent(lists, limit), alignedW, nil
+}
+
+// TopK answers the best-detections query. With sub set it routes to the
+// owning shard; with sub empty every shard contributes its local best k
+// (merged across its own subscriptions) and the coordinator merges them
+// into the global top k — correct because a subscription lives on exactly
+// one shard, so the global best k is a subset of the union of local best
+// ks. Returns the detections and the aligned watermark.
+func (c *Coordinator) TopK(sub string, k int) ([]*stream.Detection, int64, error) {
+	if sub != "" {
+		m, err := c.ownerOf(sub)
+		if err != nil {
+			return nil, 0, err
+		}
+		var r QueryResult
+		if err := c.retry(func() error {
+			var e error
+			r, e = m.TopK(sub, k)
+			return e
+		}); err != nil {
+			return nil, 0, err
+		}
+		return r.Detections, r.Watermark, nil
+	}
+	results, err := c.gather(func(m Member) (QueryResult, error) { return m.TopK("", k) })
+	if err != nil {
+		return nil, 0, err
+	}
+	alignedW, lists := alignWatermark(results)
+	return MergeTopK(lists, k), alignedW, nil
+}
+
+// ownerOf resolves a subscription to its owning member.
+func (c *Coordinator) ownerOf(sub string) (Member, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.owner[sub]
+	if !ok {
+		if c.unplaced[sub] {
+			return nil, fmt.Errorf("%w: subscription %q lost its member", ErrNoMembers, sub)
+		}
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSub, sub)
+	}
+	ms, live := c.members[id]
+	if !live {
+		// Defensive: an owner entry must never outlive its member.
+		return nil, fmt.Errorf("%w: subscription %q owner %q is gone", ErrNoMembers, sub, id)
+	}
+	return ms.m, nil
+}
+
+// gather fans a query out to every member concurrently. A member that
+// fails the query fails the gather (the next broadcast will mark it down
+// and re-place its subscriptions; queries themselves never mutate
+// membership).
+func (c *Coordinator) gather(q func(Member) (QueryResult, error)) ([]QueryResult, error) {
+	c.mu.Lock()
+	members := make([]Member, 0, len(c.members))
+	for _, id := range c.memberIDsLocked() {
+		members = append(members, c.members[id].m)
+	}
+	c.mu.Unlock()
+	if len(members) == 0 {
+		return nil, ErrNoMembers
+	}
+	results := make([]QueryResult, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			errs[i] = c.retry(func() error {
+				var e error
+				results[i], e = q(m)
+				return e
+			})
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: gather from %s: %w", members[i].ID(), err)
+		}
+	}
+	return results, nil
+}
+
+// Subscriptions lists the cluster's subscriptions with their current
+// owners ("" while unplaced).
+func (c *Coordinator) Subscriptions() map[string]SubSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]SubSpec, len(c.subs))
+	for id, sub := range c.subs {
+		out[id] = SpecOf(sub)
+	}
+	return out
+}
+
+// Placement returns the current subscription → member assignment.
+func (c *Coordinator) Placement() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.owner))
+	for sub, id := range c.owner {
+		out[sub] = id
+	}
+	return out
+}
+
+// Watermark returns the cluster watermark (the largest broadcast
+// timestamp; 0 before the first event).
+func (c *Coordinator) Watermark() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.watermark
+}
+
+// MemberInfo is one member's row in ClusterStats.
+type MemberInfo struct {
+	ID         string   `json:"id"`
+	Subs       []string `json:"subs"`
+	Watermark  int64    `json:"watermark"`
+	Started    bool     `json:"started"`
+	Lag        int64    `json:"lag"` // cluster watermark − member watermark
+	Events     int64    `json:"events"`
+	Retained   int      `json:"retained"`
+	Detections int64    `json:"detections"`
+}
+
+// ClusterStats snapshots cluster progress and health.
+type ClusterStats struct {
+	Members       []MemberInfo      `json:"members"`
+	Placement     map[string]string `json:"placement"`
+	Unplaced      []string          `json:"unplaced,omitempty"`
+	Subscriptions int               `json:"subscriptions"`
+	Watermark     int64             `json:"watermark"`
+	Started       bool              `json:"started"`
+	Batches       int64             `json:"batches"`
+	Events        int64             `json:"events"`
+	HistoryEvents int               `json:"historyEvents"`
+	HistoryTrim   int64             `json:"historyTrimmed"`
+	Downs         int64             `json:"downs"`
+	Moves         int64             `json:"moves"`
+}
+
+// Stats gathers live per-member statistics. Members that fail the stats
+// probe are reported with Started=false and Lag −1 rather than failing the
+// whole snapshot.
+func (c *Coordinator) Stats() ClusterStats {
+	c.mu.Lock()
+	ids := c.memberIDsLocked()
+	ms := make([]Member, len(ids))
+	for i, id := range ids {
+		ms[i] = c.members[id].m
+	}
+	st := ClusterStats{
+		Placement:     map[string]string{},
+		Subscriptions: len(c.subs),
+		Watermark:     c.watermark,
+		Started:       c.started,
+		Batches:       c.batches,
+		Events:        c.events,
+		HistoryEvents: len(c.history),
+		HistoryTrim:   c.histDropped,
+		Downs:         c.downs,
+		Moves:         c.moves,
+	}
+	for sub, id := range c.owner {
+		st.Placement[sub] = id
+	}
+	st.Unplaced = sortedKeys(c.unplaced)
+	c.mu.Unlock()
+	for i, m := range ms {
+		info := MemberInfo{ID: ids[i], Lag: -1}
+		if s, err := m.Stats(); err == nil {
+			info.Subs = s.Subs
+			info.Watermark = s.Watermark
+			info.Started = s.Started
+			info.Events = s.Events
+			info.Retained = s.Retained
+			info.Detections = s.Detections
+			if s.Started {
+				info.Lag = st.Watermark - s.Watermark
+			}
+		}
+		st.Members = append(st.Members, info)
+	}
+	return st
+}

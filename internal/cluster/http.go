@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// HTTPMember drives a remote flowmotifd member daemon (started with
+// -member) over its HTTP/JSON API. Transport failures and 5xx responses
+// are wrapped in ErrMemberDown so the coordinator retries and eventually
+// fails the member over; 4xx responses surface as semantic errors (409
+// maps to stream.ErrBehindFrontier, matching the in-process engine).
+type HTTPMember struct {
+	id     string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPMember builds a member client for the daemon at baseURL (e.g.
+// "http://10.0.0.7:8089"). A nil client uses a default with a 30s timeout.
+func NewHTTPMember(id, baseURL string, client *http.Client) *HTTPMember {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPMember{id: id, base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// ID implements Member.
+func (m *HTTPMember) ID() string { return m.id }
+
+// URL returns the member's base URL.
+func (m *HTTPMember) URL() string { return m.base }
+
+// wireEvent matches the serving API's event shape (internal/server).
+type wireEvent struct {
+	From temporal.NodeID `json:"from"`
+	To   temporal.NodeID `json:"to"`
+	T    int64           `json:"t"`
+	F    float64         `json:"f"`
+}
+
+func (m *HTTPMember) do(method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("cluster: member %s: marshal: %w", m.id, err)
+		}
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, m.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("cluster: member %s: %w", m.id, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrMemberDown, m.id, err)
+	}
+	defer resp.Body.Close()
+	// Handoff responses (/cluster/remove-sub) carry retention-bounded
+	// catch-up events and sink state; allow up to 1 GiB.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return fmt.Errorf("%w: %s: read response: %v", ErrMemberDown, m.id, err)
+	}
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("%w: %s: %s: %s", ErrMemberDown, m.id, resp.Status, errBody(raw))
+	}
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusConflict {
+			return fmt.Errorf("%w: member %s: %s", stream.ErrBehindFrontier, m.id, errBody(raw))
+		}
+		return fmt.Errorf("cluster: member %s: %s: %s", m.id, resp.Status, errBody(raw))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("cluster: member %s: decode %s: %w", m.id, path, err)
+		}
+	}
+	return nil
+}
+
+func errBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(raw))
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// Ingest implements Member.
+func (m *HTTPMember) Ingest(events []temporal.Event) (IngestAck, error) {
+	wire := make([]wireEvent, len(events))
+	for i, e := range events {
+		wire[i] = wireEvent{From: e.From, To: e.To, T: e.T, F: e.F}
+	}
+	var ack IngestAck
+	err := m.do(http.MethodPost, "/ingest", map[string]interface{}{"events": wire}, &ack)
+	return ack, err
+}
+
+// Flush implements Member.
+func (m *HTTPMember) Flush() (IngestAck, error) {
+	var ack IngestAck
+	err := m.do(http.MethodPost, "/flush", nil, &ack)
+	return ack, err
+}
+
+// AddSubscription implements Member.
+func (m *HTTPMember) AddSubscription(h Handoff) error {
+	return m.do(http.MethodPost, "/cluster/add-sub", h, nil)
+}
+
+// RemoveSubscription implements Member.
+func (m *HTTPMember) RemoveSubscription(id string) (Handoff, error) {
+	var h Handoff
+	err := m.do(http.MethodPost, "/cluster/remove-sub", map[string]string{"id": id}, &h)
+	return h, err
+}
+
+// queryResponse matches the serving API's /instances and /topk shape.
+type queryResponse struct {
+	Watermark int64               `json:"watermark"`
+	Started   bool                `json:"started"`
+	Instances []*stream.Detection `json:"instances"`
+}
+
+// Instances implements Member.
+func (m *HTTPMember) Instances(sub string, limit int) (QueryResult, error) {
+	var resp queryResponse
+	path := "/instances?limit=" + strconv.Itoa(limit) + "&sub=" + url.QueryEscape(sub)
+	if err := m.do(http.MethodGet, path, nil, &resp); err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Watermark: resp.Watermark, Started: resp.Started, Detections: resp.Instances}, nil
+}
+
+// TopK implements Member.
+func (m *HTTPMember) TopK(sub string, k int) (QueryResult, error) {
+	var resp queryResponse
+	var path string
+	if sub == "" {
+		path = "/topk?all=1&k=" + strconv.Itoa(k)
+	} else {
+		path = "/topk?k=" + strconv.Itoa(k) + "&sub=" + url.QueryEscape(sub)
+	}
+	if err := m.do(http.MethodGet, path, nil, &resp); err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Watermark: resp.Watermark, Started: resp.Started, Detections: resp.Instances}, nil
+}
+
+// statsResponse picks the member-relevant subset of GET /stats.
+type statsResponse struct {
+	Engine struct {
+		EventsIngested int64 `json:"eventsIngested"`
+		EventsRetained int   `json:"eventsRetained"`
+		Watermark      int64 `json:"watermark"`
+		Started        bool  `json:"started"`
+		Detections     int64 `json:"detections"`
+		Subs           []struct {
+			ID string `json:"id"`
+		} `json:"subs"`
+	} `json:"engine"`
+}
+
+// Stats implements Member.
+func (m *HTTPMember) Stats() (MemberStats, error) {
+	var resp statsResponse
+	if err := m.do(http.MethodGet, "/stats", nil, &resp); err != nil {
+		return MemberStats{}, err
+	}
+	out := MemberStats{
+		ID:         m.id,
+		Watermark:  resp.Engine.Watermark,
+		Started:    resp.Engine.Started,
+		Events:     resp.Engine.EventsIngested,
+		Retained:   resp.Engine.EventsRetained,
+		Detections: resp.Engine.Detections,
+	}
+	for _, s := range resp.Engine.Subs {
+		out.Subs = append(out.Subs, s.ID)
+	}
+	return out, nil
+}

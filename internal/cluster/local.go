@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flowmotif/internal/store"
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// LocalOptions parameterizes an in-process member.
+type LocalOptions struct {
+	// Workers is the member engine's per-band enumeration parallelism.
+	Workers int
+	// Recent bounds the member's recent-detection ring (default 4096).
+	Recent int
+	// TopK bounds the member's per-subscription top list (default 50).
+	TopK int
+	// DataDir, when non-empty, gives the member its own durable segment
+	// store: every acknowledged broadcast batch is appended to a WAL under
+	// this directory (one data dir per shard).
+	DataDir string
+	// SyncWrites fsyncs the member WAL after every acknowledged batch.
+	SyncWrites bool
+}
+
+// LocalMember is the in-process Member: a full stream engine with query
+// sinks and optional per-shard durability, driven directly by a
+// coordinator in the same process. flowmotifd -shards N serves N of these
+// behind one coordinator; tests and examples use them for single-process
+// clusters.
+type LocalMember struct {
+	id       string
+	mu       sync.Mutex // serializes ingest/flush/handoff against each other
+	eng      *stream.Engine
+	recent   *stream.MemorySink
+	topk     *stream.TopKSink
+	st       *store.Store // nil when not durable
+	replayed int64        // WAL events replayed at open
+	down     atomic.Bool  // test/ops kill switch
+}
+
+// NewLocalMember builds an empty in-process member; the coordinator places
+// subscriptions onto it.
+func NewLocalMember(id string, opts LocalOptions) (*LocalMember, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cluster: member id required")
+	}
+	if opts.Recent <= 0 {
+		opts.Recent = 4096
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 50
+	}
+	m := &LocalMember{
+		id:     id,
+		recent: stream.NewMemorySink(opts.Recent),
+		topk:   stream.NewTopKSink(opts.TopK),
+	}
+	eng, err := stream.NewEngine(stream.Config{Workers: opts.Workers},
+		stream.MultiSink{m.recent, m.topk})
+	if err != nil {
+		return nil, err
+	}
+	m.eng = eng
+	if opts.DataDir != "" {
+		st, err := store.Open(opts.DataDir, store.Options{Sync: opts.SyncWrites})
+		if err != nil {
+			return nil, err
+		}
+		// Replay the recorded stream so a restarted shard resumes with a
+		// consistent frontier: the engine's watermark matches the WAL's,
+		// so the store never rejects a broadcast the engine accepted (and
+		// vice versa). Subscription state is not persisted here — the
+		// coordinator re-seeds it through catch-up placement, which the
+		// warmed engine accepts because its log is a (possibly empty)
+		// suffix of the same stream.
+		batch := make([]temporal.Event, 0, 4096)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			_, err := eng.Ingest(batch)
+			batch = batch[:0]
+			return err
+		}
+		var ingestErr error
+		err = st.Replay(0, func(_ int64, ev temporal.Event) bool {
+			batch = append(batch, ev)
+			m.replayed++
+			if len(batch) == cap(batch) {
+				if ingestErr = flush(); ingestErr != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err == nil && ingestErr == nil {
+			ingestErr = flush()
+		}
+		if err == nil {
+			err = ingestErr
+		}
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("cluster: member %s: wal replay: %w", id, err)
+		}
+		m.st = st
+	}
+	return m, nil
+}
+
+// Replayed reports how many WAL events warmed the engine at open (durable
+// members only).
+func (m *LocalMember) Replayed() int64 { return m.replayed }
+
+// ID implements Member.
+func (m *LocalMember) ID() string { return m.id }
+
+// SetDown toggles the member's kill switch: while down, every call fails
+// with ErrMemberDown — the in-process stand-in for a crashed shard, used
+// by failover tests and the cluster demo.
+func (m *LocalMember) SetDown(down bool) { m.down.Store(down) }
+
+func (m *LocalMember) check() error {
+	if m.down.Load() {
+		return fmt.Errorf("%w: %s", ErrMemberDown, m.id)
+	}
+	return nil
+}
+
+// Ingest implements Member.
+func (m *LocalMember) Ingest(events []temporal.Event) (IngestAck, error) {
+	if err := m.check(); err != nil {
+		return IngestAck{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	before := m.eng.Stats().Detections
+	n, err := m.eng.Ingest(events)
+	if err != nil {
+		return IngestAck{}, err
+	}
+	if m.st != nil {
+		if perr := m.st.Append(events); perr != nil {
+			// The engine applied the batch but the WAL did not: surface the
+			// broken shard rather than ack silently.
+			return IngestAck{}, fmt.Errorf("%w: %s: wal append: %v", ErrMemberDown, m.id, perr)
+		}
+	}
+	st := m.eng.Stats()
+	return IngestAck{Ingested: n, Watermark: st.Watermark, Detections: st.Detections - before}, nil
+}
+
+// Flush implements Member.
+func (m *LocalMember) Flush() (IngestAck, error) {
+	if err := m.check(); err != nil {
+		return IngestAck{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	before := m.eng.Stats().Detections
+	m.eng.Flush()
+	st := m.eng.Stats()
+	return IngestAck{Watermark: st.Watermark, Detections: st.Detections - before}, nil
+}
+
+// AddSubscription implements Member.
+func (m *LocalMember) AddSubscription(h Handoff) error {
+	if err := m.check(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := InstallHandoff(m.eng, m.recent, m.topk, h)
+	return err
+}
+
+// RemoveSubscription implements Member.
+func (m *LocalMember) RemoveSubscription(id string) (Handoff, error) {
+	if err := m.check(); err != nil {
+		return Handoff{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ExtractHandoff(m.eng, m.recent, m.topk, id)
+}
+
+// Instances implements Member.
+func (m *LocalMember) Instances(sub string, limit int) (QueryResult, error) {
+	if err := m.check(); err != nil {
+		return QueryResult{}, err
+	}
+	w, ok := m.eng.Watermark()
+	return QueryResult{
+		Watermark:  w,
+		Started:    ok,
+		Detections: m.recent.Recent(sub, limit),
+	}, nil
+}
+
+// TopK implements Member.
+func (m *LocalMember) TopK(sub string, k int) (QueryResult, error) {
+	if err := m.check(); err != nil {
+		return QueryResult{}, err
+	}
+	w, ok := m.eng.Watermark()
+	var ds []*stream.Detection
+	if sub != "" {
+		ds = m.topk.Top(sub)
+		if k > 0 && k < len(ds) {
+			ds = ds[:k]
+		}
+	} else {
+		var lists [][]*stream.Detection
+		for _, s := range m.eng.Subscriptions() {
+			lists = append(lists, m.topk.Top(s.ID))
+		}
+		ds = MergeTopK(lists, k)
+	}
+	return QueryResult{Watermark: w, Started: ok, Detections: ds}, nil
+}
+
+// Stats implements Member.
+func (m *LocalMember) Stats() (MemberStats, error) {
+	if err := m.check(); err != nil {
+		return MemberStats{}, err
+	}
+	st := m.eng.Stats()
+	out := MemberStats{
+		ID:         m.id,
+		Watermark:  st.Watermark,
+		Started:    st.Started,
+		Events:     st.EventsIngested,
+		Retained:   st.EventsRetained,
+		Detections: st.Detections,
+	}
+	for _, s := range st.Subs {
+		out.Subs = append(out.Subs, s.ID)
+	}
+	return out, nil
+}
+
+// Engine exposes the member's engine (tests and demos).
+func (m *LocalMember) Engine() *stream.Engine { return m.eng }
+
+// Close releases the member's durable store, if any.
+func (m *LocalMember) Close() error {
+	if m.st == nil {
+		return nil
+	}
+	return m.st.Close()
+}

@@ -1,0 +1,152 @@
+// Package cluster scales motif serving horizontally: a Coordinator
+// partitions the subscription set across N member engines by rendezvous
+// hashing, broadcasts every time-ordered ingest batch to all members, and
+// answers queries by scatter-gather with watermark alignment and a
+// distributed top-k merge.
+//
+// The design exploits the paper's per-subscription independence: each
+// motif M = (GM, δ, φ) is evaluated on its own over the event stream
+// (Kosyfaki et al., EDBT 2019, Definition 3.1), so the expensive part —
+// per-subscription δ-window enumeration — partitions perfectly by
+// subscription, while ingest (cheap: an append into a retention log) is
+// replicated. Because every member observes the identical stream, a
+// subscription can move between members at any time: the handoff carries
+// its finalization bound plus the catch-up events the receiver's log no
+// longer retains (or never saw), and the receiver splices them in front of
+// its log (temporal.WindowLog.Prepend). The cluster therefore reports
+// exactly the instance set of a single engine with the same subscriptions
+// — the equivalence oracle in cluster_test.go — including across member
+// adds, graceful drains, and failovers.
+//
+// Two transports implement Member: LocalMember (in-process, used by tests,
+// examples and flowmotifd -shards) and HTTPMember (a remote flowmotifd
+// -member daemon).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"flowmotif/internal/motif"
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// ErrMemberDown marks transport-level member failures (process gone,
+// connection refused, 5xx): the coordinator retries these and, when they
+// persist, marks the member down and re-places its subscriptions. Semantic
+// rejections (bad batch, unknown subscription) are never wrapped in it.
+var ErrMemberDown = errors.New("cluster: member down")
+
+// ErrUnknownSub is returned for queries naming a subscription no member
+// serves.
+var ErrUnknownSub = errors.New("cluster: unknown subscription")
+
+// ErrNoMembers is returned when an operation needs a live member and the
+// cluster has none left.
+var ErrNoMembers = errors.New("cluster: no live members")
+
+// SubSpec is the wire form of a subscription: the motif by its
+// spanning-path spec (motif.Parse syntax, e.g. "0-1-2-0"), its display
+// name, plus δ and φ.
+type SubSpec struct {
+	ID    string  `json:"id"`
+	Motif string  `json:"motif"`
+	Name  string  `json:"name,omitempty"`
+	Delta int64   `json:"delta"`
+	Phi   float64 `json:"phi"`
+}
+
+// Subscription parses the spec into an engine subscription.
+func (s SubSpec) Subscription() (stream.Subscription, error) {
+	mo, err := motif.Parse(s.Motif)
+	if err != nil {
+		return stream.Subscription{}, fmt.Errorf("cluster: subscription %q: %w", s.ID, err)
+	}
+	if s.Name != "" && s.Name != mo.Name() {
+		mo = mo.Named(s.Name)
+	}
+	return stream.Subscription{ID: s.ID, Motif: mo, Delta: s.Delta, Phi: s.Phi}, nil
+}
+
+// SpecOf converts an engine subscription to its wire form.
+func SpecOf(sub stream.Subscription) SubSpec {
+	path := sub.Motif.Path()
+	parts := make([]string, len(path))
+	for i, v := range path {
+		parts[i] = fmt.Sprint(v)
+	}
+	return SubSpec{
+		ID:    sub.ID,
+		Motif: strings.Join(parts, "-"),
+		Name:  sub.Motif.Name(),
+		Delta: sub.Delta,
+		Phi:   sub.Phi,
+	}
+}
+
+// Handoff moves one subscription onto a member: its identity, its
+// finalization bound, the catch-up events the receiver may be missing, and
+// the query-sink state (recent ring entries oldest-first, top-k
+// best-first) so scatter-gather results survive the move.
+type Handoff struct {
+	Sub     SubSpec             `json:"sub"`
+	Emitted int64               `json:"emitted"`
+	Primed  bool                `json:"primed"`
+	Catchup []temporal.Event    `json:"catchup,omitempty"`
+	Recent  []*stream.Detection `json:"recent,omitempty"`
+	Top     []*stream.Detection `json:"top,omitempty"`
+}
+
+// IngestAck acknowledges an ingest or flush: what was applied, the new
+// watermark, and how many detections the call finalized.
+type IngestAck struct {
+	Ingested   int   `json:"ingested"`
+	Watermark  int64 `json:"watermark"`
+	Detections int64 `json:"detections"`
+}
+
+// QueryResult is one member's contribution to a scatter-gather query,
+// tagged with the member's watermark for alignment.
+type QueryResult struct {
+	Watermark  int64               `json:"watermark"`
+	Started    bool                `json:"started"`
+	Detections []*stream.Detection `json:"detections"`
+}
+
+// MemberStats is one member's progress snapshot.
+type MemberStats struct {
+	ID         string   `json:"id"`
+	Subs       []string `json:"subs"`
+	Watermark  int64    `json:"watermark"`
+	Started    bool     `json:"started"`
+	Events     int64    `json:"events"`
+	Retained   int      `json:"retained"`
+	Detections int64    `json:"detections"`
+}
+
+// Member is the coordinator's view of one shard engine. Implementations
+// wrap infrastructure failures in ErrMemberDown; every other error is
+// semantic and deterministic across members (all members apply identical
+// validation to the identical broadcast stream).
+type Member interface {
+	ID() string
+	// Ingest applies one time-ordered batch (all-or-nothing).
+	Ingest(events []temporal.Event) (IngestAck, error)
+	// Flush closes every still-open window (end-of-stream marker).
+	Flush() (IngestAck, error)
+	// AddSubscription installs a subscription, splicing the handoff's
+	// catch-up events and sink state.
+	AddSubscription(h Handoff) error
+	// RemoveSubscription uninstalls a subscription and returns its handoff.
+	RemoveSubscription(id string) (Handoff, error)
+	// Instances returns recent detections, newest first (sub "" = all
+	// local subscriptions).
+	Instances(sub string, limit int) (QueryResult, error)
+	// TopK returns the best detections by flow (sub "" = merged across all
+	// local subscriptions).
+	TopK(sub string, k int) (QueryResult, error)
+	// Stats snapshots member progress.
+	Stats() (MemberStats, error)
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousOwner picks the member that owns a subscription under
+// highest-random-weight (rendezvous) hashing: the member whose hash with
+// the subscription id is largest. Minimal disruption follows directly:
+// adding a member only moves the subscriptions it now wins, removing one
+// only moves the subscriptions it owned. Ties (astronomically unlikely
+// with 64-bit FNV-1a) break towards the lexicographically smallest member
+// id so every coordinator computes the same placement. Returns "" when no
+// members are given.
+func rendezvousOwner(subID string, members []string) string {
+	best := ""
+	var bestScore uint64
+	for _, m := range members {
+		h := fnv.New64a()
+		h.Write([]byte(subID))
+		h.Write([]byte{0})
+		h.Write([]byte(m))
+		score := h.Sum64()
+		if best == "" || score > bestScore || (score == bestScore && m < best) {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// Placement maps every subscription id to its rendezvous owner over the
+// given member set. Exported for operators and tests that want to predict
+// moves before a membership change.
+func Placement(subIDs, members []string) map[string]string {
+	out := make(map[string]string, len(subIDs))
+	for _, id := range subIDs {
+		out[id] = rendezvousOwner(id, members)
+	}
+	return out
+}
+
+// sortedKeys returns a map's keys in deterministic order: membership
+// changes and failovers iterate subscriptions through it so every run
+// applies moves identically.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

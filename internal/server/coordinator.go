@@ -1,0 +1,345 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"flowmotif/internal/cluster"
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// Coordinator serves a cluster coordinator (internal/cluster) over the
+// flowmotifd HTTP/JSON API: the data-plane endpoints match a single
+// server's (POST /ingest, /flush; GET /instances, /topk, /subs, /stats,
+// /metrics, /healthz), so clients need not know whether they talk to one
+// engine or a cluster, plus membership administration —
+//
+//	POST /members/add     {"id": "m4", "url": "http://10.0.0.7:8089"}
+//	                      register a member daemon and rebalance onto it.
+//	POST /members/remove  {"id": "m4"}: drain a member gracefully.
+//	POST /members/fail    {"id": "m4"}: mark a member down now and
+//	                      re-place its subscriptions from history.
+//
+// cmd/flowmotifd serves one with -cluster-coordinator.
+type Coordinator struct {
+	c       *cluster.Coordinator
+	maxBody int64
+	started time.Time
+	reqs    atomic.Int64
+	// query latency accounting for GET /metrics, keyed by endpoint.
+	eps map[string]*endpointMetrics
+}
+
+// NewCoordinator wraps a cluster coordinator for HTTP serving.
+// maxBodyBytes bounds POST bodies (<= 0: 32 MiB default).
+func NewCoordinator(c *cluster.Coordinator, maxBodyBytes int64) *Coordinator {
+	if maxBodyBytes <= 0 {
+		maxBodyBytes = 32 << 20
+	}
+	return &Coordinator{
+		c:       c,
+		maxBody: maxBodyBytes,
+		started: time.Now(),
+		eps:     map[string]*endpointMetrics{},
+	}
+}
+
+// Cluster returns the wrapped coordinator.
+func (cs *Coordinator) Cluster() *cluster.Coordinator { return cs.c }
+
+// Handler returns the HTTP API handler.
+func (cs *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", cs.count("ingest", cs.handleIngest))
+	mux.HandleFunc("/flush", cs.count("flush", cs.handleFlush))
+	mux.HandleFunc("/instances", cs.count("instances", cs.handleInstances))
+	mux.HandleFunc("/topk", cs.count("topk", cs.handleTopK))
+	mux.HandleFunc("/subs", cs.count("subs", cs.handleSubs))
+	mux.HandleFunc("/stats", cs.count("stats", cs.handleStats))
+	mux.HandleFunc("/metrics", cs.count("metrics", cs.handleMetrics))
+	mux.HandleFunc("/healthz", cs.count("healthz", cs.handleHealthz))
+	mux.HandleFunc("/members/add", cs.count("members.add", cs.handleMemberAdd))
+	mux.HandleFunc("/members/remove", cs.count("members.remove", cs.handleMemberRemove))
+	mux.HandleFunc("/members/fail", cs.count("members.fail", cs.handleMemberFail))
+	return mux
+}
+
+func (cs *Coordinator) count(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := &endpointMetrics{}
+	cs.eps[name] = m
+	return func(w http.ResponseWriter, r *http.Request) {
+		cs.reqs.Add(1)
+		start := time.Now()
+		h(w, r)
+		m.count.Add(1)
+		m.totalMicros.Add(time.Since(start).Microseconds())
+	}
+}
+
+// writeClusterErr maps coordinator errors onto the API's status codes.
+func writeClusterErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, stream.ErrBehindFrontier):
+		writeErr(w, http.StatusConflict, err)
+	case errors.Is(err, cluster.ErrUnknownSub):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, cluster.ErrNoMembers), errors.Is(err, cluster.ErrMemberDown):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+func (cs *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req ingestRequest
+	if !decodeBody(w, r, cs.maxBody, &req) {
+		return
+	}
+	evs := make([]temporal.Event, len(req.Events))
+	for i, e := range req.Events {
+		evs[i] = temporal.Event{From: e.From, To: e.To, T: e.T, F: e.F}
+	}
+	ack, err := cs.c.Ingest(evs)
+	if err != nil {
+		writeClusterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Ingested:   ack.Ingested,
+		Watermark:  ack.Watermark,
+		Detections: ack.Detections,
+	})
+}
+
+func (cs *Coordinator) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	ack, err := cs.c.Flush()
+	if err != nil {
+		writeClusterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Watermark:  ack.Watermark,
+		Detections: ack.Detections,
+	})
+}
+
+func (cs *Coordinator) handleInstances(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	limit, err := intParam(r, "limit", 50)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, wm, err := cs.c.Instances(r.URL.Query().Get("sub"), limit)
+	if err != nil {
+		writeClusterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":     len(ds),
+		"watermark": wm,
+		"instances": ds,
+	})
+}
+
+func (cs *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sub := r.URL.Query().Get("sub")
+	ds, wm, err := cs.c.TopK(sub, k)
+	if err != nil {
+		writeClusterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sub":       sub,
+		"count":     len(ds),
+		"watermark": wm,
+		"instances": ds,
+	})
+}
+
+func (cs *Coordinator) handleSubs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	specs := cs.c.Subscriptions()
+	placement := cs.c.Placement()
+	type wireSub struct {
+		ID     string  `json:"id"`
+		Motif  string  `json:"motif"`
+		Path   string  `json:"path"`
+		Delta  int64   `json:"delta"`
+		Phi    float64 `json:"phi"`
+		Member string  `json:"member,omitempty"`
+	}
+	ids := make([]string, 0, len(specs))
+	for id := range specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]wireSub, 0, len(ids))
+	for _, id := range ids {
+		sp := specs[id]
+		out = append(out, wireSub{
+			ID:     sp.ID,
+			Motif:  sp.Name,
+			Path:   sp.Motif,
+			Delta:  sp.Delta,
+			Phi:    sp.Phi,
+			Member: placement[id],
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"subs": out})
+}
+
+func (cs *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"cluster":       cs.c.Stats(),
+		"uptimeSeconds": time.Since(cs.started).Seconds(),
+		"httpRequests":  cs.reqs.Load(),
+	})
+}
+
+// handleMetrics serves flat expvar-style metrics: per-shard watermark lag
+// and event counts plus per-endpoint request counts and latencies.
+func (cs *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	st := cs.c.Stats()
+	out := map[string]interface{}{
+		"cluster.watermark":     st.Watermark,
+		"cluster.started":       st.Started,
+		"cluster.members":       len(st.Members),
+		"cluster.subscriptions": st.Subscriptions,
+		"cluster.batches":       st.Batches,
+		"cluster.events":        st.Events,
+		"cluster.history":       st.HistoryEvents,
+		"cluster.downs":         st.Downs,
+		"cluster.moves":         st.Moves,
+		"http.requests":         cs.reqs.Load(),
+		"uptime_seconds":        time.Since(cs.started).Seconds(),
+	}
+	for _, m := range st.Members {
+		p := "shard." + m.ID + "."
+		out[p+"watermark_lag"] = m.Lag
+		out[p+"watermark"] = m.Watermark
+		out[p+"events"] = m.Events
+		out[p+"retained"] = m.Retained
+		out[p+"detections"] = m.Detections
+		out[p+"subscriptions"] = len(m.Subs)
+	}
+	for name, m := range cs.eps {
+		n := m.count.Load()
+		out["requests."+name+".count"] = n
+		avg := int64(0)
+		if n > 0 {
+			avg = m.totalMicros.Load() / n
+		}
+		out["requests."+name+".avg_us"] = avg
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (cs *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	st := cs.c.Stats()
+	status := "ok"
+	if len(st.Unplaced) > 0 || len(st.Members) == 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    status,
+		"role":      "coordinator",
+		"members":   len(st.Members),
+		"unplaced":  len(st.Unplaced),
+		"watermark": st.Watermark,
+		"started":   st.Started,
+		"downs":     st.Downs,
+	})
+}
+
+func (cs *Coordinator) handleMemberAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if !decodeBody(w, r, cs.maxBody, &req) {
+		return
+	}
+	if req.ID == "" || req.URL == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("id and url required"))
+		return
+	}
+	if err := cs.c.AddMember(cluster.NewHTTPMember(req.ID, req.URL, nil)); err != nil {
+		writeClusterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "id": req.ID})
+}
+
+func (cs *Coordinator) handleMemberRemove(w http.ResponseWriter, r *http.Request) {
+	cs.memberOp(w, r, cs.c.RemoveMember)
+}
+
+func (cs *Coordinator) handleMemberFail(w http.ResponseWriter, r *http.Request) {
+	cs.memberOp(w, r, cs.c.FailMember)
+}
+
+func (cs *Coordinator) memberOp(w http.ResponseWriter, r *http.Request, op func(string) error) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req struct {
+		ID string `json:"id"`
+	}
+	if !decodeBody(w, r, cs.maxBody, &req) {
+		return
+	}
+	if req.ID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("id required"))
+		return
+	}
+	if err := op(req.ID); err != nil {
+		writeClusterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "id": req.ID})
+}

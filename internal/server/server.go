@@ -16,6 +16,8 @@
 //	GET  /topk?sub=ID&k=N            best detections by instance flow.
 //	GET  /subs      configured subscriptions.
 //	GET  /stats     engine + server statistics.
+//	GET  /metrics   flat expvar-style metrics: engine gauges plus
+//	                per-endpoint request counts and latencies.
 //	GET  /healthz   health probe: watermark, event counts, last snapshot.
 //	POST /snapshot  checkpoint the engine + sink state to the data dir
 //	                (durable servers only).
@@ -25,9 +27,20 @@
 // /snapshot checkpoints the engine, and New recovers the pre-crash state
 // from the newest snapshot plus a replay of the WAL tail.
 //
+// With Config.Member set the server is a cluster shard (internal/cluster):
+// it may start with no subscriptions and exposes the handoff endpoints a
+// coordinator drives —
+//
+//	POST /cluster/add-sub     install a subscription (handoff payload:
+//	                          spec, finalization bound, catch-up events,
+//	                          sink state).
+//	POST /cluster/remove-sub  {"id": "..."}: uninstall a subscription and
+//	                          return its handoff payload.
+//
 // Errors are JSON {"error": "..."}: 400 for malformed requests, 404 for
 // unknown subscriptions, 405 for wrong methods, 409 for batches that
-// violate the stream order contract.
+// violate the stream order contract, 413 for request bodies over
+// Config.MaxBodyBytes.
 package server
 
 import (
@@ -41,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flowmotif/internal/cluster"
 	"flowmotif/internal/store"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
@@ -72,6 +86,13 @@ type Config struct {
 	// SegmentEvents caps events per WAL segment (default
 	// store.DefaultSegmentEvents). Durable servers only.
 	SegmentEvents int
+	// Member marks the server as a cluster shard: it may start with no
+	// subscriptions (a coordinator places them at runtime) and serves the
+	// /cluster/* handoff endpoints.
+	Member bool
+	// MaxBodyBytes bounds POST request bodies (default 32 MiB); oversized
+	// requests are rejected with 413.
+	MaxBodyBytes int64
 }
 
 // RecoveryStats reports what New rebuilt from a data dir.
@@ -99,9 +120,18 @@ type Server struct {
 	topk      *stream.TopKSink
 	st        *store.Store // nil when not durable
 	recovered RecoveryStats
-	subIDs    map[string]bool
+	member    bool
+	maxBody   int64
 	started   time.Time
 	reqs      atomic.Int64
+
+	// subMu guards subIDs, which cluster handoffs mutate at runtime.
+	subMu  sync.RWMutex
+	subIDs map[string]bool
+
+	// epMu guards endpoint latency metrics (GET /metrics).
+	epMu sync.Mutex
+	eps  map[string]*endpointMetrics
 
 	// ingestMu serializes /ingest, /flush and snapshot *capture* so (a)
 	// the per-request "detections finalized by this batch" diff of two
@@ -130,11 +160,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TopK <= 0 {
 		cfg.TopK = 10
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if len(cfg.Subs) == 0 && !cfg.Member {
+		return nil, errors.New("server: at least one subscription required (cluster members start empty)")
+	}
 	s := &Server{
 		recent:  stream.NewMemorySink(cfg.Recent),
 		topk:    stream.NewTopKSink(cfg.TopK),
+		member:  cfg.Member,
+		maxBody: cfg.MaxBodyBytes,
 		started: time.Now(),
 		subIDs:  map[string]bool{},
+		eps:     map[string]*endpointMetrics{},
 	}
 	eng, err := stream.NewEngine(stream.Config{
 		Subs:    cfg.Subs,
@@ -283,22 +322,189 @@ func (s *Server) Close() error {
 // Handler returns the HTTP API handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.count(s.handleIngest))
-	mux.HandleFunc("/flush", s.count(s.handleFlush))
-	mux.HandleFunc("/instances", s.count(s.handleInstances))
-	mux.HandleFunc("/topk", s.count(s.handleTopK))
-	mux.HandleFunc("/subs", s.count(s.handleSubs))
-	mux.HandleFunc("/stats", s.count(s.handleStats))
-	mux.HandleFunc("/snapshot", s.count(s.handleSnapshot))
-	mux.HandleFunc("/healthz", s.count(s.handleHealthz))
+	mux.HandleFunc("/ingest", s.count("ingest", s.handleIngest))
+	mux.HandleFunc("/flush", s.count("flush", s.handleFlush))
+	mux.HandleFunc("/instances", s.count("instances", s.handleInstances))
+	mux.HandleFunc("/topk", s.count("topk", s.handleTopK))
+	mux.HandleFunc("/subs", s.count("subs", s.handleSubs))
+	mux.HandleFunc("/stats", s.count("stats", s.handleStats))
+	mux.HandleFunc("/snapshot", s.count("snapshot", s.handleSnapshot))
+	mux.HandleFunc("/healthz", s.count("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.count("metrics", s.handleMetrics))
+	if s.member {
+		mux.HandleFunc("/cluster/add-sub", s.count("cluster.add-sub", s.handleAddSub))
+		mux.HandleFunc("/cluster/remove-sub", s.count("cluster.remove-sub", s.handleRemoveSub))
+	}
 	return mux
 }
 
-func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+// endpointMetrics accumulates request count and latency per endpoint.
+type endpointMetrics struct {
+	count       atomic.Int64
+	totalMicros atomic.Int64
+}
+
+func (s *Server) endpoint(name string) *endpointMetrics {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	m := s.eps[name]
+	if m == nil {
+		m = &endpointMetrics{}
+		s.eps[name] = m
+	}
+	return m
+}
+
+func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Add(1)
+		start := time.Now()
 		h(w, r)
+		m.count.Add(1)
+		m.totalMicros.Add(time.Since(start).Microseconds())
 	}
+}
+
+// handleMetrics serves a flat expvar-style metric map: engine gauges plus
+// per-endpoint request counts and mean latencies.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	st := s.engine.Stats()
+	out := map[string]interface{}{
+		"engine.watermark":       st.Watermark,
+		"engine.started":         st.Started,
+		"engine.events_ingested": st.EventsIngested,
+		"engine.events_retained": st.EventsRetained,
+		"engine.events_evicted":  st.EventsEvicted,
+		"engine.batches":         st.Batches,
+		"engine.detections":      st.Detections,
+		"engine.subscriptions":   len(st.Subs),
+		"http.requests":          s.reqs.Load(),
+		"uptime_seconds":         time.Since(s.started).Seconds(),
+	}
+	if s.st != nil {
+		out["store.wal_events"] = s.st.Seq()
+	}
+	s.epMu.Lock()
+	for name, m := range s.eps {
+		n := m.count.Load()
+		out["requests."+name+".count"] = n
+		avg := int64(0)
+		if n > 0 {
+			avg = m.totalMicros.Load() / n
+		}
+		out["requests."+name+".avg_us"] = avg
+	}
+	s.epMu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// AddSubscription installs a cluster handoff: catch-up events and
+// finalization bound into the engine, moved detections into the query
+// sinks (cluster.InstallHandoff — the same protocol as LocalMember).
+// Exposed over POST /cluster/add-sub on member servers.
+func (s *Server) AddSubscription(h cluster.Handoff) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	id, err := cluster.InstallHandoff(s.engine, s.recent, s.topk, h)
+	if err != nil {
+		return err
+	}
+	s.subMu.Lock()
+	s.subIDs[id] = true
+	s.subMu.Unlock()
+	return nil
+}
+
+// RemoveSubscription uninstalls a subscription and returns its handoff
+// (engine bound + catch-up events + sink state). Exposed over POST
+// /cluster/remove-sub on member servers.
+func (s *Server) RemoveSubscription(id string) (cluster.Handoff, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	h, err := cluster.ExtractHandoff(s.engine, s.recent, s.topk, id)
+	if err != nil {
+		return cluster.Handoff{}, err
+	}
+	s.subMu.Lock()
+	delete(s.subIDs, id)
+	s.subMu.Unlock()
+	return h, nil
+}
+
+func (s *Server) handleAddSub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	// Handoff payloads carry catch-up history (up to the coordinator's
+	// full retained broadcast on failover), so the public-ingest body
+	// bound would wedge re-placement of long streams: allow far more here
+	// — /cluster/* is a trusted coordinator-to-member channel.
+	maxHandoff := s.maxBody
+	if maxHandoff < clusterHandoffMaxBody {
+		maxHandoff = clusterHandoffMaxBody
+	}
+	var h cluster.Handoff
+	if !decodeBody(w, r, maxHandoff, &h) {
+		return
+	}
+	if err := s.AddSubscription(h); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "sub": h.Sub.ID})
+}
+
+func (s *Server) handleRemoveSub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req struct {
+		ID string `json:"id"`
+	}
+	if !decodeBody(w, r, s.maxBody, &req) {
+		return
+	}
+	h, err := s.RemoveSubscription(req.ID)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, stream.ErrUnknownSubscription) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// clusterHandoffMaxBody is the minimum body bound for the /cluster/*
+// handoff endpoints (1 GiB): subscription moves can carry a failover's
+// full catch-up history, far beyond sensible public-ingest limits.
+const clusterHandoffMaxBody = 1 << 30
+
+// decodeBody decodes a bounded JSON request body, writing 413 for
+// oversized payloads and 400 for malformed ones.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		}
+		return false
+	}
+	return true
 }
 
 // wireEvent is the JSON shape of one interaction event.
@@ -325,10 +531,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ingestRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeBody(w, r, s.maxBody, &req) {
 		return
 	}
 	evs := make([]temporal.Event, len(req.Events))
@@ -452,6 +655,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) resolveSub(w http.ResponseWriter, r *http.Request) (string, bool) {
 	sub := r.URL.Query().Get("sub")
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
 	if sub == "" {
 		if len(s.subIDs) == 1 {
 			for id := range s.subIDs {
@@ -482,8 +687,11 @@ func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ds := s.recent.Recent(sub, limit)
+	wm, started := s.engine.Watermark()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"count":     len(ds),
+		"watermark": wm,
+		"started":   started,
 		"instances": ds,
 	})
 }
@@ -493,17 +701,35 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	k, err := intParam(r, "k", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wm, started := s.engine.Watermark()
+	// ?all=1 merges across every local subscription — the per-shard half
+	// of the cluster's distributed top-k (internal/cluster.MergeTopK).
+	if r.URL.Query().Get("all") != "" {
+		var lists [][]*stream.Detection
+		for _, sub := range s.engine.Subscriptions() {
+			lists = append(lists, s.topk.Top(sub.ID))
+		}
+		ds := cluster.MergeTopK(lists, k)
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"sub":       "",
+			"count":     len(ds),
+			"watermark": wm,
+			"started":   started,
+			"instances": ds,
+		})
+		return
+	}
 	sub, ok := s.resolveSub(w, r)
 	if !ok {
 		return
 	}
 	if sub == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("sub parameter required (several subscriptions configured)"))
-		return
-	}
-	k, err := intParam(r, "k", 0)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, errors.New("sub parameter required (several subscriptions configured; use all=1 for a merged list)"))
 		return
 	}
 	ds := s.topk.Top(sub)
@@ -513,6 +739,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"sub":       sub,
 		"count":     len(ds),
+		"watermark": wm,
+		"started":   started,
 		"instances": ds,
 	})
 }

@@ -81,6 +81,53 @@ func (m *MemorySink) Recent(sub string, limit int) []*Detection {
 	return out
 }
 
+// RemoveSub drops every retained detection of one subscription and
+// returns them oldest-first — the recent-ring half of a subscription
+// handoff (internal/cluster re-placement). Total is reduced accordingly.
+func (m *MemorySink) RemoveSub(sub string) []*Detection {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var removed, kept []*Detection
+	n := len(m.ring)
+	for i := 0; i < n; i++ {
+		// Walk forwards from the oldest retained slot.
+		d := m.ring[(m.next+i)%n]
+		if d.Sub == sub {
+			removed = append(removed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	// Compacted oldest-first with next=0, the ring stays consistent: Emit
+	// appends until full, then overwrites slot 0 — the oldest entry.
+	m.ring = append(m.ring[:0], kept...)
+	m.next = 0
+	m.total -= int64(len(removed))
+	return removed
+}
+
+// Inject splices handed-off detections (oldest-first) in as the sink's
+// oldest entries, keeping at most capacity overall (newest win).
+func (m *MemorySink) Inject(ds []*Detection) {
+	if len(ds) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	merged := make([]*Detection, 0, len(ds)+len(m.ring))
+	merged = append(merged, ds...)
+	n := len(m.ring)
+	for i := 0; i < n; i++ {
+		merged = append(merged, m.ring[(m.next+i)%n])
+	}
+	if c := cap(m.ring); len(merged) > c {
+		merged = merged[len(merged)-c:]
+	}
+	m.ring = append(m.ring[:0], merged...)
+	m.next = 0
+	m.total += int64(len(ds))
+}
+
 // MemorySinkState is the serializable content of a MemorySink (detections
 // oldest-first), part of the flowmotifd snapshot payload.
 type MemorySinkState struct {
@@ -168,6 +215,32 @@ func (t *TopKSink) Top(sub string) []*Detection {
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return detLess(out[j], out[i]) })
 	return out
+}
+
+// RemoveSub drops one subscription's retained detections and returns them
+// best-first — the top-k half of a subscription handoff.
+func (t *TopKSink) RemoveSub(sub string) []*Detection {
+	t.mu.Lock()
+	h := t.subs[sub]
+	delete(t.subs, sub)
+	var out []*Detection
+	if h != nil {
+		out = append(out, (*h)...)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return detLess(out[j], out[i]) })
+	return out
+}
+
+// Inject re-ranks handed-off detections under the sink's own k. Since k is
+// a per-subscription bound, moving a subscription's full top list between
+// sinks of equal k is lossless.
+func (t *TopKSink) Inject(ds []*Detection) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, d := range ds {
+		t.emitLocked(d)
+	}
 }
 
 // TopKSinkState maps subscription id to its retained detections,

@@ -143,15 +143,13 @@ type Engine struct {
 }
 
 // NewEngine builds an engine over the given subscriptions and sink (which
-// may be nil to discard detections).
+// may be nil to discard detections). An engine may start with no
+// subscriptions — a cluster member awaiting placement — and gain them at
+// runtime via AddSubscription.
 func NewEngine(cfg Config, sink Sink) (*Engine, error) {
-	if len(cfg.Subs) == 0 {
-		return nil, errors.New("stream: at least one subscription required")
-	}
 	if cfg.Slack < 0 {
 		return nil, errors.New("stream: Slack must be non-negative")
 	}
-	seen := map[string]bool{}
 	e := &Engine{
 		log:      temporal.NewWindowLog(),
 		sink:     sink,
@@ -160,25 +158,36 @@ func NewEngine(cfg Config, sink Sink) (*Engine, error) {
 		minNextT: math.MinInt64,
 	}
 	for i, s := range cfg.Subs {
-		if s.Motif == nil {
-			return nil, fmt.Errorf("stream: subscription %d: nil motif", i)
+		st, err := e.newSubState(s)
+		if err != nil {
+			return nil, fmt.Errorf("stream: subscription %d: %w", i, err)
 		}
-		if s.Delta < 0 || s.Phi < 0 {
-			return nil, fmt.Errorf("stream: subscription %d: Delta and Phi must be non-negative", i)
+		e.subs = append(e.subs, st)
+		if st.sub.Delta > e.maxDelta {
+			e.maxDelta = st.sub.Delta
 		}
-		if s.ID == "" {
-			s.ID = s.Motif.Name()
-		}
-		if seen[s.ID] {
-			return nil, fmt.Errorf("stream: duplicate subscription id %q", s.ID)
-		}
-		seen[s.ID] = true
-		if s.Delta > e.maxDelta {
-			e.maxDelta = s.Delta
-		}
-		e.subs = append(e.subs, &subState{sub: s})
 	}
 	return e, nil
+}
+
+// newSubState validates one subscription against the current set. The
+// caller holds mu (or the engine is under construction).
+func (e *Engine) newSubState(s Subscription) (*subState, error) {
+	if s.Motif == nil {
+		return nil, errors.New("nil motif")
+	}
+	if s.Delta < 0 || s.Phi < 0 {
+		return nil, errors.New("Delta and Phi must be non-negative")
+	}
+	if s.ID == "" {
+		s.ID = s.Motif.Name()
+	}
+	for _, have := range e.subs {
+		if have.sub.ID == s.ID {
+			return nil, fmt.Errorf("duplicate subscription id %q", s.ID)
+		}
+	}
+	return &subState{sub: s}, nil
 }
 
 // Ingest appends a batch of events and finalizes every window the advanced
@@ -288,41 +297,48 @@ func (e *Engine) emitPending() {
 func (e *Engine) finalize(terminal bool) {
 	w, _ := e.log.Watermark()
 	for _, s := range e.subs {
-		hi := w
-		if !terminal {
-			hi = satSub(w, 1+s.sub.Delta)
-		}
-		if !s.primed || hi <= s.emitted {
-			continue
-		}
-		lo := satAdd(s.emitted, 1)
-		// The band sub-graph needs the windows' events [lo, hi+δ] plus the
-		// preceding δ for the maximality skip rule (core.EnumerateRange).
-		g, err := e.log.BuildGraph(satSub(lo, s.sub.Delta), satAdd(hi, s.sub.Delta))
-		if err != nil {
-			// Unreachable: the log only holds validated events.
-			panic(fmt.Sprintf("stream: band graph: %v", err))
-		}
-		p := core.Params{Delta: s.sub.Delta, Phi: s.sub.Phi, Workers: e.workers}
-		// With Workers > 1 the visitor runs concurrently; bandMu guards the
-		// pending list and counters (mu is held but not by the workers).
-		var bandMu sync.Mutex
-		_, err = core.EnumerateRange(g, s.sub.Motif, p, lo, hi, func(in *core.Instance) bool {
-			d := e.detection(g, s, in, w)
-			bandMu.Lock()
-			s.detections++
-			e.detections++
-			e.pending = append(e.pending, d)
-			bandMu.Unlock()
-			return true
-		})
-		if err != nil {
-			// Unreachable: params were validated at engine construction.
-			panic(fmt.Sprintf("stream: enumerate: %v", err))
-		}
-		s.bands++
-		s.emitted = hi
+		e.finalizeSub(s, w, terminal)
 	}
+}
+
+// finalizeSub advances one subscription's emitted bound to the newest
+// closed anchor at watermark w, collecting detections into e.pending. The
+// caller holds mu.
+func (e *Engine) finalizeSub(s *subState, w int64, terminal bool) {
+	hi := w
+	if !terminal {
+		hi = satSub(w, 1+s.sub.Delta)
+	}
+	if !s.primed || hi <= s.emitted {
+		return
+	}
+	lo := satAdd(s.emitted, 1)
+	// The band sub-graph needs the windows' events [lo, hi+δ] plus the
+	// preceding δ for the maximality skip rule (core.EnumerateRange).
+	g, err := e.log.BuildGraph(satSub(lo, s.sub.Delta), satAdd(hi, s.sub.Delta))
+	if err != nil {
+		// Unreachable: the log only holds validated events.
+		panic(fmt.Sprintf("stream: band graph: %v", err))
+	}
+	p := core.Params{Delta: s.sub.Delta, Phi: s.sub.Phi, Workers: e.workers}
+	// With Workers > 1 the visitor runs concurrently; bandMu guards the
+	// pending list and counters (mu is held but not by the workers).
+	var bandMu sync.Mutex
+	_, err = core.EnumerateRange(g, s.sub.Motif, p, lo, hi, func(in *core.Instance) bool {
+		d := e.detection(g, s, in, w)
+		bandMu.Lock()
+		s.detections++
+		e.detections++
+		e.pending = append(e.pending, d)
+		bandMu.Unlock()
+		return true
+	})
+	if err != nil {
+		// Unreachable: params were validated when the subscription was added.
+		panic(fmt.Sprintf("stream: enumerate: %v", err))
+	}
+	s.bands++
+	s.emitted = hi
 }
 
 // detection converts a band-graph instance into a self-contained Detection.

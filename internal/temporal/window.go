@@ -73,6 +73,75 @@ func (l *WindowLog) Append(e Event) error {
 	return nil
 }
 
+// Prepend splices older history in front of the retained suffix: events
+// the log evicted earlier, or — on a log fed from a broadcast stream —
+// events an identical upstream log retained but this one never saw. The
+// batch must be time-ordered, valid (like Append), and must not reach past
+// the current oldest retained event; on a non-empty log events at or after
+// OldestT are duplicates of retained ones and are dropped. The splice
+// counts against the eviction counters (as if un-evicted), or against the
+// append counter when the log never held the events, keeping the
+// appended−evicted == retained invariant. Returns how many events were
+// spliced in. On error the log is unchanged.
+//
+// Prepend exists for subscription re-placement (internal/cluster): the
+// receiving engine's log holds the recent suffix of the shared broadcast
+// stream, and the handoff's catch-up events supply exactly the older
+// prefix the moved subscription still needs.
+func (l *WindowLog) Prepend(events []Event) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	cut := len(events)
+	if oldest, ok := l.OldestT(); ok {
+		cut = sort.Search(len(events), func(i int) bool { return events[i].T >= oldest })
+	}
+	prev := int64(math.MinInt64)
+	for i := 0; i < cut; i++ {
+		e := events[i]
+		if e.From < 0 || e.To < 0 {
+			return 0, errNegativeNode
+		}
+		if e.F <= 0 || math.IsNaN(e.F) || math.IsInf(e.F, 0) {
+			return 0, fmt.Errorf("temporal: %w (got %v)", errNonPositiveFlow, e.F)
+		}
+		if e.T < prev {
+			return 0, fmt.Errorf("temporal: prepend event %d out of order (t=%d after %d)", i, e.T, prev)
+		}
+		prev = e.T
+	}
+	if l.started && l.Len() == 0 && prev > l.watermark {
+		return 0, fmt.Errorf("temporal: prepend reaches t=%d past watermark %d", prev, l.watermark)
+	}
+	if cut == 0 {
+		return 0, nil
+	}
+	merged := make([]Event, 0, cut+l.Len())
+	merged = append(merged, events[:cut]...)
+	merged = append(merged, l.events[l.head:]...)
+	l.events = merged
+	l.head = 0
+	if n := int64(cut); l.evicted >= n {
+		l.evicted -= n
+	} else {
+		l.appended += n - l.evicted
+		l.evicted = 0
+	}
+	for _, e := range events[:cut] {
+		if n := int(e.From) + 1; n > l.numNodes {
+			l.numNodes = n
+		}
+		if n := int(e.To) + 1; n > l.numNodes {
+			l.numNodes = n
+		}
+	}
+	if !l.started {
+		l.watermark = prev
+		l.started = true
+	}
+	return cut, nil
+}
+
 // EvictBefore drops every retained event with T < t and returns how many
 // were dropped. The backing array is compacted once the dead prefix
 // exceeds the live part, keeping memory proportional to the retention

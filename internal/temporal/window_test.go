@@ -129,3 +129,98 @@ func TestWindowLogSlidingEquivalence(t *testing.T) {
 		t.Fatalf("backing array grew unbounded: cap=%d", cap(l.events))
 	}
 }
+
+func TestWindowLogPrepend(t *testing.T) {
+	l := NewWindowLog()
+	for ti := int64(0); ti < 10; ti++ {
+		if err := l.Append(Event{From: 0, To: 1, T: ti * 10, F: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.EvictBefore(50) // retained: t=50..90, evicted: t=0..40
+
+	// Re-splicing evicted history restores it; overlap with the retained
+	// suffix is dropped by timestamp cut.
+	spliced, err := l.Prepend([]Event{
+		{From: 0, To: 1, T: 20, F: 1},
+		{From: 0, To: 1, T: 30, F: 1},
+		{From: 0, To: 1, T: 40, F: 1},
+		{From: 0, To: 1, T: 50, F: 1}, // duplicate of a retained event
+	})
+	if err != nil || spliced != 3 {
+		t.Fatalf("Prepend = (%d, %v), want (3, nil)", spliced, err)
+	}
+	if l.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", l.Len())
+	}
+	if got, _ := l.OldestT(); got != 20 {
+		t.Fatalf("OldestT = %d, want 20", got)
+	}
+	if l.Appended()-l.Evicted() != int64(l.Len()) {
+		t.Fatalf("counter invariant broken: appended=%d evicted=%d retained=%d",
+			l.Appended(), l.Evicted(), l.Len())
+	}
+	if w, _ := l.Watermark(); w != 90 {
+		t.Fatalf("watermark moved to %d after Prepend, want 90", w)
+	}
+	// The spliced state must round-trip through the snapshot validator.
+	if _, err := NewWindowLogFromState(l.State()); err != nil {
+		t.Fatalf("spliced log state invalid: %v", err)
+	}
+
+	// Out-of-order and invalid prepends are rejected without side effects.
+	if _, err := l.Prepend([]Event{{From: 0, To: 1, T: 15, F: 1}, {From: 0, To: 1, T: 5, F: 1}}); err == nil {
+		t.Fatal("out-of-order prepend accepted")
+	}
+	if _, err := l.Prepend([]Event{{From: 0, To: 1, T: 5, F: -1}}); err == nil {
+		t.Fatal("non-positive flow prepend accepted")
+	}
+	if l.Len() != 8 {
+		t.Fatalf("failed prepend mutated the log: Len = %d, want 8", l.Len())
+	}
+}
+
+func TestWindowLogPrependIntoFreshAndDrainedLog(t *testing.T) {
+	// A never-started log adopts the prepended history wholesale,
+	// establishing the watermark — the fresh-cluster-member case.
+	l := NewWindowLog()
+	n, err := l.Prepend([]Event{
+		{From: 0, To: 1, T: 10, F: 1},
+		{From: 2, To: 3, T: 20, F: 2},
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("Prepend = (%d, %v), want (2, nil)", n, err)
+	}
+	if w, ok := l.Watermark(); !ok || w != 20 {
+		t.Fatalf("watermark = (%d, %v), want (20, true)", w, ok)
+	}
+	if l.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", l.NumNodes())
+	}
+	if err := l.Append(Event{From: 0, To: 1, T: 25, F: 1}); err != nil {
+		t.Fatalf("append after prepend: %v", err)
+	}
+
+	// A started-but-drained log (everything evicted) accepts history up to
+	// its watermark and nothing past it.
+	d := NewWindowLog()
+	if err := d.Append(Event{From: 0, To: 1, T: 100, F: 1}); err != nil {
+		t.Fatal(err)
+	}
+	d.EvictBefore(200)
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after full eviction, want 0", d.Len())
+	}
+	if _, err := d.Prepend([]Event{{From: 0, To: 1, T: 150, F: 1}}); err == nil {
+		t.Fatal("prepend past the watermark of a drained log accepted")
+	}
+	if n, err := d.Prepend([]Event{{From: 0, To: 1, T: 60, F: 1}, {From: 0, To: 1, T: 90, F: 1}}); err != nil || n != 2 {
+		t.Fatalf("Prepend = (%d, %v), want (2, nil)", n, err)
+	}
+	if w, _ := d.Watermark(); w != 100 {
+		t.Fatalf("watermark = %d after drained prepend, want 100", w)
+	}
+	if _, err := NewWindowLogFromState(d.State()); err != nil {
+		t.Fatalf("drained-splice state invalid: %v", err)
+	}
+}
