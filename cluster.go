@@ -6,15 +6,18 @@ import (
 
 // Cluster re-exports: horizontal scale-out for motif serving
 // (internal/cluster). A coordinator shards the subscription set across N
-// member engines by rendezvous hashing, broadcasts every time-ordered
-// ingest batch to all of them (ingest is a cheap replicated append;
-// per-subscription δ-window enumeration is the partitioned expensive
-// part), and answers queries by scatter-gather: /instances concatenation
-// with watermark alignment and an exact distributed top-k merge. Members
-// can join, drain, and fail at runtime; subscriptions move live via
-// handoffs (finalization bound + catch-up events + sink state), so the
-// cluster serves exactly the instance set of a single engine with the
-// same subscriptions. cmd/flowmotifd serves a coordinator with
+// member engines by rendezvous hashing, replicates every time-ordered
+// ingest batch to all of them through an asynchronous sequence-numbered
+// pipeline (Ingest acks once the batch is in the replication log;
+// per-member queues drain it with coalescing, idempotent seq-tagged
+// resends, and backpressure — Drain is the apply barrier, Close stops
+// the pipeline), and answers queries by scatter-gather: /instances
+// concatenation with watermark alignment and an exact distributed top-k
+// merge, each answer tagged with a Gather status (started / degraded).
+// Members can join, drain, and fail at runtime; subscriptions move live
+// via handoffs (finalization bound + catch-up events + sink state), so
+// the cluster serves exactly the instance set of a single engine with
+// the same subscriptions. cmd/flowmotifd serves a coordinator with
 // -cluster-coordinator and members with -member.
 type (
 	// ClusterCoordinator shards subscriptions across member engines.
@@ -31,7 +34,14 @@ type (
 	ClusterHTTPMember = cluster.HTTPMember
 	// ClusterHandoff moves one subscription between members.
 	ClusterHandoff = cluster.Handoff
-	// ClusterStats snapshots cluster progress and per-shard health.
+	// ClusterBatch is one seq-tagged replication unit (idempotent resend).
+	ClusterBatch = cluster.Batch
+	// ClusterGather is a scatter-gather answer's status: aligned
+	// watermark, started (any shard has data), degraded (answer may be
+	// incomplete).
+	ClusterGather = cluster.Gather
+	// ClusterStats snapshots cluster progress and per-shard health,
+	// including replication-pipeline lag.
 	ClusterStats = cluster.ClusterStats
 )
 

@@ -18,16 +18,20 @@
 // minimum flow φ (optional, default 0). The subscription id served by the
 // API is "motif/δ/φ" unless -sub is given as id=motif:delta:phi.
 //
-// Cluster roles (see internal/cluster and DESIGN.md §9): -member starts an
-// empty shard whose subscriptions a coordinator places at runtime over
+// Cluster roles (see internal/cluster and DESIGN.md §9–10): -member starts
+// an empty shard whose subscriptions a coordinator places at runtime over
 // POST /cluster/add-sub and /cluster/remove-sub. -cluster-coordinator
 // starts a coordinator that shards the -sub set across its members by
-// rendezvous hashing, broadcasts ingest to all of them, scatter-gathers
-// queries, and fails members over when they stop answering; members come
-// from repeated -join id=url flags (remote daemons), from -shards N
-// (in-process engines, each with its own data dir under -data-dir), or
-// both. The coordinator serves the same data-plane API as a single
-// daemon, plus POST /members/add, /members/remove and /members/fail.
+// rendezvous hashing, replicates ingest to all of them through an
+// asynchronous sequence-numbered pipeline (acks on log append; -queue-depth
+// bounds each member's backlog before ingest backpressures, and
+// -coalesce-events caps how much of a backlog is folded into one member
+// call), scatter-gathers queries, and fails members over when they stop
+// answering; members come from repeated -join id=url flags (remote
+// daemons), from -shards N (in-process engines, each with its own data dir
+// under -data-dir), or both. The coordinator serves the same data-plane
+// API as a single daemon, plus POST /members/add, /members/remove and
+// /members/fail.
 //
 // With -data-dir the daemon is durable: every acknowledged batch lands in
 // a segmented write-ahead log, engine state is checkpointed periodically
@@ -152,13 +156,20 @@ func main() {
 		coord    = flag.Bool("cluster-coordinator", false, "coordinator: shard -sub set across members, broadcast ingest, scatter-gather queries")
 		shards   = flag.Int("shards", 0, "coordinator: run N in-process member engines (per-shard data dirs under -data-dir)")
 		histCap  = flag.Int("history-limit", 0, "coordinator: bound retained broadcast history in events (0: unlimited; bounds failover regeneration)")
+		queueCap = flag.Int("queue-depth", 0, "coordinator: per-member replication queue depth in batches before ingest backpressures (0: default 128)")
+		coalesce = flag.Int("coalesce-events", 0, "coordinator: max events folded into one member call when a replication backlog drains (0: default 2048)")
 	)
 	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
 	flag.Var(&joins, "join", `coordinator: member daemon "id=http://host:port" (repeatable)`)
 	flag.Parse()
 
 	if *coord {
-		runCoordinator(*addr, subs, joins, *shards, *workers, *recent, *topk, *dataDir, *fsync, *histCap)
+		runCoordinator(coordOptions{
+			addr: *addr, subs: subs, joins: joins, shards: *shards,
+			workers: *workers, recent: *recent, topk: *topk,
+			dataDir: *dataDir, fsync: *fsync, histCap: *histCap,
+			queueDepth: *queueCap, coalesce: *coalesce,
+		})
 		return
 	}
 
@@ -252,22 +263,40 @@ func main() {
 	log.Printf("final: %d events ingested, %d detections", st.EventsIngested, st.Detections)
 }
 
+// coordOptions carries the cluster-coordinator role's flag set.
+type coordOptions struct {
+	addr       string
+	subs       subFlags
+	joins      joinFlags
+	shards     int
+	workers    int
+	recent     int
+	topk       int
+	dataDir    string
+	fsync      bool
+	histCap    int
+	queueDepth int
+	coalesce   int
+}
+
 // runCoordinator starts the cluster-coordinator role: -shards in-process
 // members and/or -join remote member daemons behind one coordinator
-// serving the flowmotifd API.
-func runCoordinator(addr string, subs subFlags, joins joinFlags, shards, workers, recent, topk int, dataDir string, fsync bool, histCap int) {
+// serving the flowmotifd API, with pipelined (asynchronous) replication
+// to the members.
+func runCoordinator(o coordOptions) {
+	addr, subs, joins := o.addr, o.subs, o.joins
 	if len(subs) == 0 {
 		log.Fatalf("flowmotifd: coordinator needs at least one -sub")
 	}
-	if shards <= 0 && len(joins) == 0 {
+	if o.shards <= 0 && len(joins) == 0 {
 		log.Fatalf("flowmotifd: coordinator needs members: -shards N and/or -join id=url")
 	}
 	var members []cluster.Member
 	var locals []*cluster.LocalMember
-	for i := 0; i < shards; i++ {
-		opts := cluster.LocalOptions{Workers: workers, Recent: recent, TopK: topk, SyncWrites: fsync}
-		if dataDir != "" {
-			opts.DataDir = filepath.Join(dataDir, fmt.Sprintf("shard-%d", i))
+	for i := 0; i < o.shards; i++ {
+		opts := cluster.LocalOptions{Workers: o.workers, Recent: o.recent, TopK: o.topk, SyncWrites: o.fsync}
+		if o.dataDir != "" {
+			opts.DataDir = filepath.Join(o.dataDir, fmt.Sprintf("shard-%d", i))
 		}
 		lm, err := cluster.NewLocalMember(fmt.Sprintf("shard-%d", i), opts)
 		if err != nil {
@@ -280,9 +309,11 @@ func runCoordinator(addr string, subs subFlags, joins joinFlags, shards, workers
 		members = append(members, cluster.NewHTTPMember(j.id, j.url, nil))
 	}
 	c, err := cluster.New(cluster.Config{
-		Members:      members,
-		Subs:         subs,
-		HistoryLimit: histCap,
+		Members:        members,
+		Subs:           subs,
+		HistoryLimit:   o.histCap,
+		MaxPending:     o.queueDepth,
+		CoalesceEvents: o.coalesce,
 	})
 	if err != nil {
 		log.Fatalf("flowmotifd: cluster: %v", err)
@@ -290,7 +321,7 @@ func runCoordinator(addr string, subs subFlags, joins joinFlags, shards, workers
 	for sub, owner := range c.Placement() {
 		log.Printf("placed %s on %s", sub, owner)
 	}
-	if histCap <= 0 {
+	if o.histCap <= 0 {
 		log.Printf("history: unbounded — the full broadcast stream is retained in memory for lossless failover; bound it with -history-limit N (failover then regenerates only the newest N events)")
 	}
 
@@ -317,11 +348,18 @@ func runCoordinator(addr string, subs subFlags, joins joinFlags, shards, workers
 		log.Fatalf("flowmotifd: %v", err)
 	}
 	<-done
+	// Push every acknowledged batch through to the members before the
+	// shard WALs close — an ingest ack means "durable in the log", so
+	// shutdown must not strand the log's tail.
+	if err := c.Drain(); err != nil {
+		log.Printf("drain on shutdown: %v", err)
+	}
+	c.Close()
 	for _, lm := range locals {
 		if err := lm.Close(); err != nil {
 			log.Printf("shard %s close: %v", lm.ID(), err)
 		}
 	}
 	st := c.Stats()
-	log.Printf("final: %d events broadcast, %d moves, %d downs", st.Events, st.Moves, st.Downs)
+	log.Printf("final: %d events replicated, %d moves, %d downs", st.Events, st.Moves, st.Downs)
 }

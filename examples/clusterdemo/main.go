@@ -61,6 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
 	fmt.Printf("cluster: 3 shards, %d subscriptions\n", len(subs))
 	byOwner := map[string]int{}
 	for _, owner := range c.Placement() {
@@ -102,6 +103,12 @@ func main() {
 	locals[0].SetDown(true)
 	fmt.Printf("\nshard-0 killed\n")
 	feed(events[2*third:], "phase 3 (failover):")
+	// Ingest acks on append now (async replication pipeline); the drain
+	// barrier waits for every survivor to apply the log and reaps the
+	// killed shard.
+	if err := c.Drain(); err != nil {
+		log.Fatal(err)
+	}
 	for sub, owner := range c.Placement() {
 		if owner == "shard-0" {
 			log.Fatalf("subscription %s still on the dead shard", sub)
@@ -111,11 +118,11 @@ func main() {
 	if _, err := c.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	top, alignedW, err := c.TopK("", 8)
+	top, aligned, err := c.TopK("", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nglobal top-%d by instance flow (aligned to watermark %d):\n", len(top), alignedW)
+	fmt.Printf("\nglobal top-%d by instance flow (aligned to watermark %d):\n", len(top), aligned.Watermark)
 	for i, d := range top {
 		fmt.Printf("  %2d. %-16s flow=%8.2f window=[%d,%d] nodes=%v\n",
 			i+1, d.Sub, d.Flow, d.Start, d.End, d.Nodes)

@@ -30,45 +30,79 @@ type Config struct {
 	// it, so with an unlimited history failover loses nothing, while a
 	// bounded history trades memory for detections older than the bound.
 	HistoryLimit int
+	// MaxPending bounds each member's replication queue in log entries:
+	// Ingest blocks (backpressure) while the slowest live member is this
+	// many appended-but-unacked batches behind (default 128).
+	MaxPending int
+	// CoalesceEvents caps how many events a replicator folds into one
+	// member call when draining a backlog (default 2048). Larger values
+	// amortize per-call transport overhead (one HTTP round-trip per call
+	// for remote members); smaller values bound member call latency and
+	// per-call enumeration band size.
+	CoalesceEvents int
 }
 
-// memberState tracks one registered member.
+// memberState tracks one registered member and its replication pipeline
+// position (the per-member state machine: replicating → failed → reaped,
+// or replicating → stopped on drain/close).
 type memberState struct {
-	m     Member
-	subs  map[string]bool // subscription ids owned
-	acked int64           // watermark of the last acknowledged broadcast
+	m    Member
+	subs map[string]bool // subscription ids owned
+
+	ackedSeq int64 // newest replication-log entry applied and acked
+	ackedW   int64 // member watermark at that ack
+	failed   bool  // replicator gave up; awaiting failover reap
+	failErr  error
+	stopped  bool // replicator told to exit (removed / reaped / closed)
+	done     chan struct{}
 }
 
-// Coordinator partitions subscriptions across member engines and fans
-// ingest and queries out to them. Mutating operations (Ingest, Flush,
+// Coordinator partitions subscriptions across member engines, replicates
+// ingest to them through the asynchronous pipeline (replication.go), and
+// fans queries out by scatter-gather. Mutating operations (Ingest, Flush,
 // membership changes, failover) are serialized; queries run concurrently
 // with ingest and align results to the slowest shard's watermark.
 type Coordinator struct {
 	retries    int
 	retryDelay time.Duration
 	histLimit  int
+	maxPending int
+	coalesce   int
 
-	// ingestMu serializes broadcast order and membership/placement
-	// changes; always acquired before mu.
+	// ingestMu serializes log-append order and membership/placement
+	// changes; always acquired before mu. minNextT (the admission
+	// frontier) is only touched under it.
 	ingestMu sync.Mutex
-	// mu guards the fields below for concurrent readers (queries, stats).
+	minNextT int64
+	maxDelta int64 // largest subscription δ (set at construction)
+
+	// mu guards the fields below for concurrent readers (queries, stats)
+	// and the replicator goroutines; cond (on mu) signals log appends,
+	// acks, failures, and stops.
 	mu       sync.Mutex
+	cond     *sync.Cond
 	members  map[string]*memberState
 	subs     map[string]stream.Subscription
 	owner    map[string]string // subID -> memberID
 	unplaced map[string]bool   // subs that lost their member with no survivor
 
-	history     []temporal.Event // broadcast history (failover catch-up)
+	repl      []logEntry // replication log: appended, not yet acked by all
+	replBase  int64      // seq of repl[0] when non-empty
+	headSeq   int64      // newest appended sequence (0 before any append)
+	logEvents int        // total events currently in repl
+
+	history     []temporal.Event // acked broadcast history (failover catch-up)
 	histDropped int64            // events trimmed off the history head
 
-	watermark int64
-	started   bool
-	minNextT  int64
-	maxDelta  int64
-	batches   int64
-	events    int64
-	downs     int64 // members marked down
-	moves     int64 // subscription re-placements
+	watermark    int64
+	started      bool
+	batches      int64
+	events       int64
+	downs        int64 // members marked down
+	moves        int64 // subscription re-placements
+	failedCount  int   // members flagged failed, not yet reaped
+	backpressure int64 // Ingest calls that blocked on a full queue
+	closed       bool
 }
 
 // New builds a coordinator over the given members and places the
@@ -84,16 +118,26 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.RetryDelay <= 0 {
 		cfg.RetryDelay = 25 * time.Millisecond
 	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 128
+	}
+	if cfg.CoalesceEvents <= 0 {
+		cfg.CoalesceEvents = 2048
+	}
 	c := &Coordinator{
 		retries:    cfg.Retries,
 		retryDelay: cfg.RetryDelay,
 		histLimit:  cfg.HistoryLimit,
+		maxPending: cfg.MaxPending,
+		coalesce:   cfg.CoalesceEvents,
 		members:    map[string]*memberState{},
 		subs:       map[string]stream.Subscription{},
 		owner:      map[string]string{},
 		unplaced:   map[string]bool{},
 		minNextT:   math.MinInt64,
+		replBase:   1,
 	}
+	c.cond = sync.NewCond(&c.mu)
 	for _, m := range cfg.Members {
 		if m.ID() == "" {
 			return nil, errors.New("cluster: member with empty id")
@@ -101,7 +145,12 @@ func New(cfg Config) (*Coordinator, error) {
 		if _, dup := c.members[m.ID()]; dup {
 			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID())
 		}
-		c.members[m.ID()] = &memberState{m: m, subs: map[string]bool{}, acked: math.MinInt64}
+		c.members[m.ID()] = &memberState{
+			m:      m,
+			subs:   map[string]bool{},
+			ackedW: math.MinInt64,
+			done:   make(chan struct{}),
+		}
 	}
 	for i, sub := range cfg.Subs {
 		if sub.Motif == nil {
@@ -128,6 +177,9 @@ func New(cfg Config) (*Coordinator, error) {
 		c.members[target].subs[subID] = true
 		c.owner[subID] = target
 	}
+	for _, ms := range c.members {
+		go c.replicate(ms)
+	}
 	return c, nil
 }
 
@@ -137,14 +189,14 @@ func (c *Coordinator) memberIDsLocked() []string {
 
 // retry calls fn up to 1+Retries times while it keeps failing with
 // ErrMemberDown; any other outcome returns immediately. Only *idempotent*
-// member calls may be retried: queries, stats, and Flush (a second flush
-// at the same watermark is a no-op). Ingest and the handoff calls are
-// deliberately single-attempt — a member may have applied them before the
-// ack was lost, and resending would be rejected as a semantic error
-// (behind-frontier, duplicate subscription), wedging the cluster. For
-// those, a transport failure marks the member down instead; failover
-// regeneration from history is safe regardless of whether the lost call
-// was applied.
+// member calls may be retried: queries, stats, Flush (a second flush at
+// the same watermark is a no-op), and — since batches became seq-tagged —
+// replicated ingest (deliver, in replication.go, which retries on its
+// own). The handoff calls remain deliberately single-attempt: a member
+// may have applied AddSubscription before the ack was lost, and resending
+// would be rejected as a duplicate, so a transport failure marks the
+// member down instead; failover regeneration from history is safe
+// regardless of whether the lost call was applied.
 func (c *Coordinator) retry(fn func() error) error {
 	var err error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -182,102 +234,89 @@ func (c *Coordinator) validateBatch(events []temporal.Event) ([]temporal.Event, 
 	return batch, nil
 }
 
-// Ingest broadcasts one batch to every member. The batch is applied by all
-// live members (each a full engine over the whole stream); members that
-// keep failing after retries are marked down and their subscriptions are
-// re-placed onto survivors, regenerated from the coordinator's history, so
-// the batch is never partially visible per subscription. Returns the
-// aggregate ack (detections summed over members).
+// Ingest validates one batch, appends it to the replication log, and
+// acknowledges immediately; per-member replicators deliver it to every
+// shard concurrently (replication.go). The ack carries the log sequence
+// and the new cluster watermark — detections finalize asynchronously as
+// members apply the log (query with Stats, or Drain for a barrier). When
+// the slowest live member's backlog reaches MaxPending entries, Ingest
+// blocks until it drains or the member is failed over: backpressure, not
+// unbounded queueing. The log, not any member, is the stream of record:
+// once a batch is acked here it survives member failures (failover
+// regenerates subscriptions from the coordinator's history).
 func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
 	if len(events) == 0 {
 		return IngestAck{Watermark: c.Watermark()}, nil
 	}
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
-	if len(c.members) == 0 {
+	c.mu.Lock()
+	anyFailed := c.failedCount > 0
+	n := len(c.members)
+	c.mu.Unlock()
+	if anyFailed {
+		// Reap before admitting more work so failover latency is bounded
+		// by one batch, not by queue depth. Non-fatal failover errors
+		// (subscriptions parked unplaced) surface through Stats/healthz
+		// rather than failing an otherwise-acceptable batch.
+		_ = c.reapFailedLocked()
+		c.mu.Lock()
+		n = len(c.members)
+		c.mu.Unlock()
+	}
+	if n == 0 {
 		return IngestAck{}, ErrNoMembers
 	}
 	batch, err := c.validateBatch(events)
 	if err != nil {
 		return IngestAck{}, err
 	}
-	type result struct {
-		id  string
-		ack IngestAck
-		err error
-	}
-	c.mu.Lock()
-	states := make([]*memberState, 0, len(c.members))
-	for _, id := range c.memberIDsLocked() {
-		states = append(states, c.members[id])
-	}
-	c.mu.Unlock()
-	results := make([]result, len(states))
-	var wg sync.WaitGroup
-	for i, ms := range states {
-		wg.Add(1)
-		go func(i int, ms *memberState) {
-			defer wg.Done()
-			// Single attempt: ingest is not idempotent (a member that
-			// applied the batch but lost the ack would reject a resend as
-			// behind-frontier). A transport failure marks the member down;
-			// history regeneration makes that safe either way.
-			ack, err := ms.m.Ingest(batch)
-			results[i] = result{id: ms.m.ID(), ack: ack, err: err}
-		}(i, ms)
-	}
-	wg.Wait()
-
-	var failed []string
-	agg := IngestAck{Ingested: len(batch)}
-	for i, r := range results {
-		switch {
-		case r.err == nil:
-			states[i].acked = r.ack.Watermark
-			agg.Detections += r.ack.Detections
-		case errors.Is(r.err, ErrMemberDown):
-			failed = append(failed, r.id)
-		default:
-			// A semantic rejection the coordinator's own validation did not
-			// predict means the cluster has diverged from the engines'
-			// admission rules — fail loudly instead of guessing.
-			return IngestAck{}, fmt.Errorf("cluster: member %s rejected a validated batch: %w", r.id, r.err)
-		}
-	}
-	if len(failed) == len(states) {
-		return IngestAck{}, fmt.Errorf("%w: all %d members failed the broadcast", ErrNoMembers, len(states))
-	}
-
 	last := batch[len(batch)-1].T
 	c.mu.Lock()
-	c.history = append(c.history, batch...)
-	c.trimHistoryLocked()
-	c.watermark = last
-	c.started = true
-	c.minNextT = last
-	c.batches++
-	c.events += int64(len(batch))
-	c.mu.Unlock()
-	agg.Watermark = last
-
-	if len(failed) > 0 {
-		if err := c.failLocked(failed); err != nil {
-			return agg, err
+	if c.pipelineFullLocked() {
+		c.backpressure++
+		for c.pipelineFullLocked() && !c.closed {
+			c.cond.Wait()
 		}
 	}
-	return agg, nil
+	c.headSeq++
+	seq := c.headSeq
+	if len(c.repl) == 0 {
+		c.replBase = seq
+	}
+	c.repl = append(c.repl, logEntry{seq: seq, events: batch})
+	c.logEvents += len(batch)
+	c.watermark = last
+	c.started = true
+	c.batches++
+	c.events += int64(len(batch))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.minNextT = last
+	return IngestAck{Ingested: len(batch), Watermark: last, Seq: seq}, nil
 }
 
-// Flush broadcasts the end-of-stream marker: every member closes its
-// still-open windows. Later batches must clear the watermark by more than
-// the largest subscription δ cluster-wide.
+// Flush broadcasts the end-of-stream marker: the replication pipeline is
+// drained (every member applies the full log; members whose replicators
+// gave up are failed over), then every member closes its still-open
+// windows. Later batches must clear the watermark by more than the
+// largest subscription δ cluster-wide.
 func (c *Coordinator) Flush() (IngestAck, error) {
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
-	if len(c.members) == 0 {
+	c.mu.Lock()
+	n := len(c.members)
+	c.mu.Unlock()
+	if n == 0 {
 		return IngestAck{}, ErrNoMembers
 	}
+	c.drainLocked()
+	reapErr := c.reapFailedLocked()
 	c.mu.Lock()
+	if len(c.members) == 0 {
+		c.mu.Unlock()
+		return IngestAck{}, errors.Join(ErrNoMembers, reapErr)
+	}
 	states := make([]*memberState, 0, len(c.members))
 	for _, id := range c.memberIDsLocked() {
 		states = append(states, c.members[id])
@@ -305,16 +344,17 @@ func (c *Coordinator) Flush() (IngestAck, error) {
 		return IngestAck{}, fmt.Errorf("%w: all %d members failed the flush", ErrNoMembers, len(states))
 	}
 	c.mu.Lock()
-	if c.started {
-		if m := temporal.SatAdd(c.watermark, c.maxDelta+1); m > c.minNextT {
+	wm, started := c.watermark, c.started
+	c.mu.Unlock()
+	if started {
+		if m := temporal.SatAdd(wm, c.maxDelta+1); m > c.minNextT {
 			c.minNextT = m
 		}
 	}
-	agg.Watermark = c.watermark
-	c.mu.Unlock()
+	agg.Watermark = wm
 	if len(failed) > 0 {
 		if err := c.failLocked(failed); err != nil {
-			return agg, err
+			return agg, errors.Join(err, reapErr)
 		}
 		// The re-placed subscriptions were regenerated on members that had
 		// already flushed, so close their windows too. Terminal bands are
@@ -332,7 +372,7 @@ func (c *Coordinator) Flush() (IngestAck, error) {
 			}
 		}
 	}
-	return agg, nil
+	return agg, reapErr
 }
 
 // trimHistoryLocked enforces HistoryLimit; the caller holds mu.
@@ -366,7 +406,14 @@ func (c *Coordinator) failLocked(ids []string) error {
 			continue
 		}
 		delete(c.members, id)
+		if ms.failed {
+			c.failedCount--
+		}
+		ms.stopped = true
 		c.downs++
+		// The departed member no longer gates log trimming or backpressure.
+		c.trimLogLocked()
+		c.cond.Broadcast()
 		orphans := sortedKeys(ms.subs)
 		// Unown the orphans immediately: until re-placement succeeds they
 		// are unplaced, never owner entries pointing at a deleted member
@@ -457,10 +504,11 @@ func (c *Coordinator) replaceLocked(subID string, survivors []string) (string, e
 	return target, nil
 }
 
-// FailMember marks a member down immediately (without waiting for a
-// broadcast to it to fail) and re-places its subscriptions. The member's
+// FailMember marks a member down immediately (without waiting for its
+// replicator to give up) and re-places its subscriptions. The member's
 // already-reported detections are regenerated on the survivors from the
-// coordinator's history.
+// coordinator's history. Survivors are drained to the log head first so
+// the regenerated handoffs carry the complete stream.
 func (c *Coordinator) FailMember(id string) error {
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
@@ -470,7 +518,19 @@ func (c *Coordinator) FailMember(id string) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown member %q", id)
 	}
-	return c.failLocked([]string{id})
+	c.drainLocked()
+	// The drain barrier excludes members whose replicators failed along
+	// the way; reap them together with the explicit target.
+	ids := []string{id}
+	c.mu.Lock()
+	for mid, ms := range c.members {
+		if ms.failed && mid != id {
+			ids = append(ids, mid)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	return c.failLocked(ids)
 }
 
 // AddMember registers a new member and rebalances: rendezvous hashing
@@ -485,10 +545,26 @@ func (c *Coordinator) AddMember(m Member) error {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: member id %q empty or already registered", m.ID())
 	}
-	c.members[m.ID()] = &memberState{m: m, subs: map[string]bool{}, acked: math.MinInt64}
+	c.mu.Unlock()
+	// Quiesce the pipeline: survivors at the log head, failed members
+	// reaped, history complete. Reap errors (e.g. the last old member died
+	// leaving subscriptions unplaced) are deliberately not fatal — the
+	// member being added is about to adopt the orphans.
+	c.drainLocked()
+	_ = c.reapFailedLocked()
+	c.mu.Lock()
+	ms := &memberState{
+		m:        m,
+		subs:     map[string]bool{},
+		ackedSeq: c.headSeq, // joins at the head; history arrives via handoffs
+		ackedW:   math.MinInt64,
+		done:     make(chan struct{}),
+	}
+	c.members[m.ID()] = ms
 	ids := c.memberIDsLocked()
 	subIDs := sortedKeys(c.subs)
 	c.mu.Unlock()
+	go c.replicate(ms)
 
 	// Give previously unplaced subscriptions (a total-failure remnant) a
 	// home first: they regenerate from history.
@@ -527,6 +603,15 @@ func (c *Coordinator) AddMember(m Member) error {
 func (c *Coordinator) RemoveMember(id string) error {
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
+	// Quiesce: the departing member and every survivor must have applied
+	// the full log before handoffs move live subscription state between
+	// them. Members that failed during the drain are reaped first (the
+	// drain target itself may be among them, turning the graceful drain
+	// into a failover — the correct degradation).
+	c.drainLocked()
+	if err := c.reapFailedLocked(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	ms, ok := c.members[id]
 	if !ok {
@@ -552,7 +637,12 @@ func (c *Coordinator) RemoveMember(id string) error {
 		}
 	}
 	c.mu.Lock()
-	delete(c.members, id)
+	if ms, ok := c.members[id]; ok {
+		delete(c.members, id)
+		ms.stopped = true
+		c.trimLogLocked()
+		c.cond.Broadcast()
+	}
 	c.mu.Unlock()
 	return nil
 }
@@ -614,12 +704,15 @@ func (c *Coordinator) moveLocked(subID, from, to string) error {
 // Instances answers the recent-detections query. With sub set it routes to
 // the owning shard; with sub empty it scatter-gathers every shard,
 // aligns to the slowest shard's watermark, and concatenates newest-first.
-// Returns the detections and the watermark they are aligned to.
-func (c *Coordinator) Instances(sub string, limit int) ([]*stream.Detection, int64, error) {
+// Returns the detections and the Gather status they are aligned to: a
+// fresh-but-healthy cluster answers (nil, {Started: false}), which is
+// distinguishable from a degraded gather (Degraded set when shards failed
+// the query, subscriptions are unplaced, or a member awaits failover).
+func (c *Coordinator) Instances(sub string, limit int) ([]*stream.Detection, Gather, error) {
 	if sub != "" {
 		m, err := c.ownerOf(sub)
 		if err != nil {
-			return nil, 0, err
+			return nil, Gather{}, err
 		}
 		var r QueryResult
 		if err := c.retry(func() error {
@@ -627,16 +720,17 @@ func (c *Coordinator) Instances(sub string, limit int) ([]*stream.Detection, int
 			r, e = m.Instances(sub, limit)
 			return e
 		}); err != nil {
-			return nil, 0, err
+			return nil, Gather{}, err
 		}
-		return r.Detections, r.Watermark, nil
+		return r.Detections, Gather{Watermark: r.Watermark, Started: r.Started, Degraded: c.degraded()}, nil
 	}
-	results, err := c.gather(func(m Member) (QueryResult, error) { return m.Instances("", limit) })
+	results, dropped, err := c.gather(func(m Member) (QueryResult, error) { return m.Instances("", limit) })
 	if err != nil {
-		return nil, 0, err
+		return nil, Gather{}, err
 	}
-	alignedW, lists := alignWatermark(results)
-	return mergeRecent(lists, limit), alignedW, nil
+	alignedW, started, lists := alignWatermark(results)
+	g := Gather{Watermark: alignedW, Started: started, Degraded: dropped > 0 || c.degraded()}
+	return mergeRecent(lists, limit), g, nil
 }
 
 // TopK answers the best-detections query. With sub set it routes to the
@@ -644,12 +738,13 @@ func (c *Coordinator) Instances(sub string, limit int) ([]*stream.Detection, int
 // (merged across its own subscriptions) and the coordinator merges them
 // into the global top k — correct because a subscription lives on exactly
 // one shard, so the global best k is a subset of the union of local best
-// ks. Returns the detections and the aligned watermark.
-func (c *Coordinator) TopK(sub string, k int) ([]*stream.Detection, int64, error) {
+// ks. Returns the detections and the aligned Gather status (see
+// Instances for its no-data/degraded semantics).
+func (c *Coordinator) TopK(sub string, k int) ([]*stream.Detection, Gather, error) {
 	if sub != "" {
 		m, err := c.ownerOf(sub)
 		if err != nil {
-			return nil, 0, err
+			return nil, Gather{}, err
 		}
 		var r QueryResult
 		if err := c.retry(func() error {
@@ -657,16 +752,26 @@ func (c *Coordinator) TopK(sub string, k int) ([]*stream.Detection, int64, error
 			r, e = m.TopK(sub, k)
 			return e
 		}); err != nil {
-			return nil, 0, err
+			return nil, Gather{}, err
 		}
-		return r.Detections, r.Watermark, nil
+		return r.Detections, Gather{Watermark: r.Watermark, Started: r.Started, Degraded: c.degraded()}, nil
 	}
-	results, err := c.gather(func(m Member) (QueryResult, error) { return m.TopK("", k) })
+	results, dropped, err := c.gather(func(m Member) (QueryResult, error) { return m.TopK("", k) })
 	if err != nil {
-		return nil, 0, err
+		return nil, Gather{}, err
 	}
-	alignedW, lists := alignWatermark(results)
-	return MergeTopK(lists, k), alignedW, nil
+	alignedW, started, lists := alignWatermark(results)
+	g := Gather{Watermark: alignedW, Started: started, Degraded: dropped > 0 || c.degraded()}
+	return MergeTopK(lists, k), g, nil
+}
+
+// degraded reports whether query answers may be incomplete: subscriptions
+// are unplaced (their member died with no survivor to adopt them) or a
+// member is flagged failed and awaiting failover.
+func (c *Coordinator) degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unplaced) > 0 || c.failedCount > 0
 }
 
 // ownerOf resolves a subscription to its owning member.
@@ -688,19 +793,27 @@ func (c *Coordinator) ownerOf(sub string) (Member, error) {
 	return ms.m, nil
 }
 
-// gather fans a query out to every member concurrently. A member that
-// fails the query fails the gather (the next broadcast will mark it down
-// and re-place its subscriptions; queries themselves never mutate
-// membership).
-func (c *Coordinator) gather(q func(Member) (QueryResult, error)) ([]QueryResult, error) {
+// gather fans a query out to every member concurrently. Members flagged
+// failed (awaiting failover) are skipped up front, and a member that
+// fails the query is dropped from the answer rather than failing the
+// whole gather — the caller reports the answer as degraded instead of
+// stalling on a flapping shard. Only a gather nobody answers is an error.
+// Queries never mutate membership; repair belongs to the replication
+// pipeline's reap.
+func (c *Coordinator) gather(q func(Member) (QueryResult, error)) ([]QueryResult, int, error) {
 	c.mu.Lock()
 	members := make([]Member, 0, len(c.members))
+	dropped := 0
 	for _, id := range c.memberIDsLocked() {
+		if ms := c.members[id]; ms.failed {
+			dropped++
+			continue
+		}
 		members = append(members, c.members[id].m)
 	}
 	c.mu.Unlock()
 	if len(members) == 0 {
-		return nil, ErrNoMembers
+		return nil, dropped, ErrNoMembers
 	}
 	results := make([]QueryResult, len(members))
 	errs := make([]error, len(members))
@@ -717,12 +830,22 @@ func (c *Coordinator) gather(q func(Member) (QueryResult, error)) ([]QueryResult
 		}(i, m)
 	}
 	wg.Wait()
+	kept := results[:0]
+	var firstErr error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("cluster: gather from %s: %w", members[i].ID(), err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: gather from %s: %w", members[i].ID(), err)
+			}
+			dropped++
+			continue
 		}
+		kept = append(kept, results[i])
 	}
-	return results, nil
+	if len(kept) == 0 {
+		return nil, dropped, errors.Join(ErrNoMembers, firstErr)
+	}
+	return kept, dropped, nil
 }
 
 // Subscriptions lists the cluster's subscriptions with their current
@@ -766,6 +889,17 @@ type MemberInfo struct {
 	Events     int64    `json:"events"`
 	Retained   int      `json:"retained"`
 	Detections int64    `json:"detections"`
+	// Replication-pipeline position (DESIGN.md §10): the newest log entry
+	// this member has applied and acked, the watermark it reported with
+	// that ack (the coordinator's own record — available even when the
+	// live Stats probe above fails and Lag reads -1), and how far behind
+	// the log head it is in entries and events. Failing marks a member
+	// whose replicator gave up, pending failover reap.
+	AckedSeq       int64 `json:"ackedSeq"`
+	AckedWatermark int64 `json:"ackedWatermark"`
+	ReplLagEntries int64 `json:"replLagEntries"`
+	ReplLagEvents  int64 `json:"replLagEvents"`
+	Failing        bool  `json:"failing,omitempty"`
 }
 
 // ClusterStats snapshots cluster progress and health.
@@ -782,6 +916,15 @@ type ClusterStats struct {
 	HistoryTrim   int64             `json:"historyTrimmed"`
 	Downs         int64             `json:"downs"`
 	Moves         int64             `json:"moves"`
+	// Replication-log gauges: the newest appended sequence, the entries
+	// and events still queued for at least one member, how often Ingest
+	// blocked on a full member queue, and whether query answers may be
+	// incomplete right now.
+	HeadSeq      int64 `json:"headSeq"`
+	LogEntries   int   `json:"logEntries"`
+	LogEvents    int   `json:"logEvents"`
+	Backpressure int64 `json:"backpressureWaits"`
+	Degraded     bool  `json:"degraded"`
 }
 
 // Stats gathers live per-member statistics. Members that fail the stats
@@ -791,8 +934,21 @@ func (c *Coordinator) Stats() ClusterStats {
 	c.mu.Lock()
 	ids := c.memberIDsLocked()
 	ms := make([]Member, len(ids))
+	repl := make([]MemberInfo, len(ids))
 	for i, id := range ids {
-		ms[i] = c.members[id].m
+		s := c.members[id]
+		ms[i] = s.m
+		repl[i] = MemberInfo{
+			AckedSeq:       s.ackedSeq,
+			AckedWatermark: s.ackedW,
+			ReplLagEntries: c.headSeq - s.ackedSeq,
+			Failing:        s.failed,
+		}
+		for _, e := range c.repl {
+			if e.seq > s.ackedSeq {
+				repl[i].ReplLagEvents += int64(len(e.events))
+			}
+		}
 	}
 	st := ClusterStats{
 		Placement:     map[string]string{},
@@ -805,6 +961,11 @@ func (c *Coordinator) Stats() ClusterStats {
 		HistoryTrim:   c.histDropped,
 		Downs:         c.downs,
 		Moves:         c.moves,
+		HeadSeq:       c.headSeq,
+		LogEntries:    len(c.repl),
+		LogEvents:     c.logEvents,
+		Backpressure:  c.backpressure,
+		Degraded:      len(c.unplaced) > 0 || c.failedCount > 0,
 	}
 	for sub, id := range c.owner {
 		st.Placement[sub] = id
@@ -812,7 +973,9 @@ func (c *Coordinator) Stats() ClusterStats {
 	st.Unplaced = sortedKeys(c.unplaced)
 	c.mu.Unlock()
 	for i, m := range ms {
-		info := MemberInfo{ID: ids[i], Lag: -1}
+		info := repl[i]
+		info.ID = ids[i]
+		info.Lag = -1
 		if s, err := m.Stats(); err == nil {
 			info.Subs = s.Subs
 			info.Watermark = s.Watermark

@@ -98,6 +98,7 @@ func newTestCluster(t testing.TB, n int, subs []stream.Subscription) (*Coordinat
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(c.Close)
 	return c, locals
 }
 
@@ -276,6 +277,11 @@ func TestClusterMembershipAndFailover(t *testing.T) {
 	}
 	killed.SetDown(true)
 	feedRandomBatches(t, c, evs[3*quarter:], 4)
+	// Pipelined ingest acks on append; the drain barrier guarantees the
+	// failover has been reaped before the assertions below.
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	st := c.Stats()
 	if st.Downs != 1 {
 		t.Fatalf("Downs = %d after kill, want 1", st.Downs)
@@ -378,7 +384,10 @@ func TestClusterOrderContract(t *testing.T) {
 
 // TestClusterLastMemberRules: the last member cannot be drained while
 // subscriptions exist, and losing every member leaves subscriptions
-// unplaced until a new member arrives and adopts them from history.
+// unplaced until a new member arrives and adopts them from the
+// replication log/history — including a batch that was acked into the
+// log but never applied by any member (the log, not the members, is the
+// stream of record).
 func TestClusterLastMemberRules(t *testing.T) {
 	mo := motif.MustPath(0, 1)
 	c, locals := newTestCluster(t, 1, []stream.Subscription{
@@ -393,22 +402,36 @@ func TestClusterLastMemberRules(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	locals[0].SetDown(true)
-	if _, err := c.Ingest([]temporal.Event{{From: 0, To: 1, T: 30, F: 1}}); !errors.Is(err, ErrNoMembers) {
-		t.Fatalf("broadcast with every member down: err=%v, want ErrNoMembers", err)
+	// Pipelined ingest still acks: the batch lands in the replication log
+	// before the member's death is discovered.
+	ack, err := c.Ingest([]temporal.Event{{From: 0, To: 1, T: 30, F: 1}})
+	if err != nil {
+		t.Fatalf("pipelined ingest with the member down: %v", err)
 	}
-	if err := c.FailMember("m0"); !errors.Is(err, ErrNoMembers) {
-		t.Fatalf("failing the last member: err=%v, want ErrNoMembers (subs unplaced)", err)
+	if ack.Seq == 0 {
+		t.Fatalf("pipelined ack missing log seq: %+v", ack)
 	}
-	if st := c.Stats(); len(st.Unplaced) != 1 {
-		t.Fatalf("Unplaced = %v, want [s]", st.Unplaced)
+	// The drain barrier discovers the death; the last member's
+	// subscriptions end up unplaced.
+	if err := c.Drain(); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("drain with every member down: err=%v, want ErrNoMembers", err)
+	}
+	if _, err := c.Ingest([]temporal.Event{{From: 0, To: 1, T: 40, F: 1}}); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("ingest with no members left: err=%v, want ErrNoMembers", err)
+	}
+	st := c.Stats()
+	if len(st.Unplaced) != 1 || !st.Degraded {
+		t.Fatalf("Unplaced = %v (degraded=%v), want [s] degraded", st.Unplaced, st.Degraded)
 	}
 	if _, _, err := c.Instances("s", 0); err == nil {
 		t.Fatal("query for an unplaced subscription succeeded")
 	}
-	// A new member adopts the orphan from coordinator history. The batch
-	// that failed broadcast was never applied (all members were down), so
-	// history holds events through t=20 only.
+	// A new member adopts the orphan from coordinator history — including
+	// the t=30 batch that was acked but never applied by the dead member.
 	fresh, err := NewLocalMember("m9", LocalOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -426,8 +449,8 @@ func TestClusterLastMemberRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ds) != 2 {
-		t.Fatalf("served %d instances after adoption, want 2 (regenerated from history)", len(ds))
+	if len(ds) != 3 {
+		t.Fatalf("served %d instances after adoption, want 3 (regenerated from the log incl. the acked-but-unapplied batch)", len(ds))
 	}
 }
 
@@ -503,9 +526,9 @@ func TestAlignWatermark(t *testing.T) {
 		{Watermark: 60, Started: true, Detections: []*stream.Detection{d(55), d(60)}},
 		{Started: false}, // fresh shard, no events yet
 	}
-	alignedW, lists := alignWatermark(results)
-	if alignedW != 60 {
-		t.Fatalf("alignedW = %d, want 60", alignedW)
+	alignedW, started, lists := alignWatermark(results)
+	if alignedW != 60 || !started {
+		t.Fatalf("alignedW = (%d, %v), want (60, started)", alignedW, started)
 	}
 	if len(lists[0]) != 1 || lists[0][0].DetectedAt != 40 {
 		t.Fatalf("fast shard not filtered: %v", lists[0])
@@ -513,10 +536,17 @@ func TestAlignWatermark(t *testing.T) {
 	if len(lists[1]) != 2 {
 		t.Fatalf("slow shard filtered: %v", lists[1])
 	}
-	// All shards unstarted: nothing served, watermark zero.
-	alignedW, lists = alignWatermark([]QueryResult{{Started: false}, {Started: false}})
-	if alignedW != 0 || len(lists[0]) != 0 {
-		t.Fatalf("unstarted cluster: w=%d lists=%v", alignedW, lists)
+	// All shards unstarted: nothing served, watermark zero — and the
+	// started flag false, so "no data yet" is distinguishable from an
+	// empty-but-started stream whose watermark happens to be 0.
+	alignedW, started, lists = alignWatermark([]QueryResult{{Started: false}, {Started: false}})
+	if alignedW != 0 || started || len(lists[0]) != 0 {
+		t.Fatalf("unstarted cluster: w=%d started=%v lists=%v", alignedW, started, lists)
+	}
+	// A started shard at watermark 0 (first event at t=0) is NOT the
+	// no-data case: started must be true.
+	if _, started, _ := alignWatermark([]QueryResult{{Started: true, Watermark: 0}}); !started {
+		t.Fatal("started shard at watermark 0 reported as no-data")
 	}
 	// Disjoint watermarks where one shard is strictly ahead by a whole
 	// band: everything the laggard has is kept, the leader contributes
@@ -525,8 +555,8 @@ func TestAlignWatermark(t *testing.T) {
 		{Watermark: 1000, Started: true, Detections: []*stream.Detection{d(999), d(1000)}},
 		{Watermark: 10, Started: true, Detections: []*stream.Detection{d(9)}},
 	}
-	alignedW, lists = alignWatermark(results)
-	if alignedW != 10 || len(lists[0]) != 0 || len(lists[1]) != 1 {
+	alignedW, started, lists = alignWatermark(results)
+	if alignedW != 10 || !started || len(lists[0]) != 0 || len(lists[1]) != 1 {
 		t.Fatalf("disjoint watermarks: w=%d lists=%v", alignedW, lists)
 	}
 }
@@ -593,6 +623,11 @@ func TestLocalMemberDurableRestart(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// Push the pipelined batch through to the shard WAL before restart.
+	if err := c1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
 	if err := m1.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -613,6 +648,7 @@ func TestLocalMemberDurableRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(c2.Close)
 	// The resumed stream continues past the recorded frontier; both the
 	// engine and the WAL accept it.
 	if _, err := c2.Ingest([]temporal.Event{{From: 0, To: 1, T: 30, F: 3}}); err != nil {

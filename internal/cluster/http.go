@@ -107,14 +107,21 @@ func errBody(raw []byte) string {
 	return s
 }
 
-// Ingest implements Member.
-func (m *HTTPMember) Ingest(events []temporal.Event) (IngestAck, error) {
-	wire := make([]wireEvent, len(events))
-	for i, e := range events {
+// Ingest implements Member. The replication sequence tag travels as the
+// request's "seq" field; the member daemon deduplicates resends by it
+// (answering with its recorded ack, dup=true), which is what makes retry
+// after a lost ack safe over this transport.
+func (m *HTTPMember) Ingest(b Batch) (IngestAck, error) {
+	wire := make([]wireEvent, len(b.Events))
+	for i, e := range b.Events {
 		wire[i] = wireEvent{From: e.From, To: e.To, T: e.T, F: e.F}
 	}
+	body := map[string]interface{}{"events": wire}
+	if b.Seq != 0 {
+		body["seq"] = b.Seq
+	}
 	var ack IngestAck
-	err := m.do(http.MethodPost, "/ingest", map[string]interface{}{"events": wire}, &ack)
+	err := m.do(http.MethodPost, "/ingest", body, &ack)
 	return ack, err
 }
 

@@ -40,6 +40,22 @@ type LocalMember struct {
 	st       *store.Store // nil when not durable
 	replayed int64        // WAL events replayed at open
 	down     atomic.Bool  // test/ops kill switch
+
+	// lastSeq/lastAck make seq-tagged ingest idempotent: a resend of an
+	// already-applied replication batch (its ack was lost in transit)
+	// answers with the recorded ack instead of a behind-frontier
+	// rejection. Guarded by mu.
+	lastSeq int64
+	lastAck IngestAck
+	// walErr poisons the member after a WAL append failed post-apply:
+	// engine and WAL have diverged, so every later ingest reports
+	// ErrMemberDown (fail-stop) until the shard is recreated from its
+	// WAL. Without it, a retried seq-tagged batch whose first apply
+	// succeeded in the engine but missed the WAL would be re-applied
+	// (the dedup record is only written on full success) — double
+	// detections on single-timestamp batches, spurious divergence
+	// errors otherwise. Guarded by mu.
+	walErr error
 }
 
 // NewLocalMember builds an empty in-process member; the coordinator places
@@ -131,27 +147,46 @@ func (m *LocalMember) check() error {
 	return nil
 }
 
-// Ingest implements Member.
-func (m *LocalMember) Ingest(events []temporal.Event) (IngestAck, error) {
+// Ingest implements Member. A batch tagged with a replication sequence at
+// or below the last applied tag is a duplicate resend (the coordinator
+// never saw the ack): it is answered with the recorded ack, Dup set, and
+// the engine untouched.
+func (m *LocalMember) Ingest(b Batch) (IngestAck, error) {
 	if err := m.check(); err != nil {
 		return IngestAck{}, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	before := m.eng.Stats().Detections
-	n, err := m.eng.Ingest(events)
+	if m.walErr != nil {
+		return IngestAck{}, fmt.Errorf("%w: %s: wal broken: %v", ErrMemberDown, m.id, m.walErr)
+	}
+	if b.Seq != 0 && b.Seq <= m.lastSeq {
+		ack := m.lastAck
+		ack.Dup = true
+		return ack, nil
+	}
+	ack, err := m.eng.IngestWithAck(b.Events)
 	if err != nil {
 		return IngestAck{}, err
 	}
 	if m.st != nil {
-		if perr := m.st.Append(events); perr != nil {
-			// The engine applied the batch but the WAL did not: surface the
-			// broken shard rather than ack silently.
+		if perr := m.st.Append(b.Events); perr != nil {
+			// The engine applied the batch but the WAL did not: poison the
+			// member (fail-stop) so retries and later batches report the
+			// broken shard instead of re-applying or diverging silently.
+			m.walErr = perr
+			if b.Seq != 0 {
+				m.lastSeq = b.Seq
+			}
 			return IngestAck{}, fmt.Errorf("%w: %s: wal append: %v", ErrMemberDown, m.id, perr)
 		}
 	}
-	st := m.eng.Stats()
-	return IngestAck{Ingested: n, Watermark: st.Watermark, Detections: st.Detections - before}, nil
+	out := IngestAck{Ingested: ack.Ingested, Watermark: ack.Watermark, Detections: ack.Detections, Seq: b.Seq}
+	if b.Seq != 0 {
+		m.lastSeq = b.Seq
+		m.lastAck = out
+	}
+	return out, nil
 }
 
 // Flush implements Member.
@@ -161,10 +196,8 @@ func (m *LocalMember) Flush() (IngestAck, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	before := m.eng.Stats().Detections
-	m.eng.Flush()
-	st := m.eng.Stats()
-	return IngestAck{Watermark: st.Watermark, Detections: st.Detections - before}, nil
+	ack := m.eng.FlushWithAck()
+	return IngestAck{Watermark: ack.Watermark, Detections: ack.Detections}, nil
 }
 
 // AddSubscription implements Member.

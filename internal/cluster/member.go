@@ -1,8 +1,17 @@
 // Package cluster scales motif serving horizontally: a Coordinator
 // partitions the subscription set across N member engines by rendezvous
-// hashing, broadcasts every time-ordered ingest batch to all members, and
+// hashing, replicates every time-ordered ingest batch to all members
+// through an asynchronous, sequence-numbered replication pipeline, and
 // answers queries by scatter-gather with watermark alignment and a
 // distributed top-k merge.
+//
+// Ingest appends a validated batch to the coordinator's replication log
+// and acknowledges immediately; per-member replicator goroutines drain the
+// log concurrently with adaptive batch coalescing, acked-watermark
+// tracking, and backpressure when the slowest member falls too far behind
+// (see replication.go and DESIGN.md §10). Batches carry their log sequence
+// number, so a member that applied a batch but lost the ack treats the
+// resend as a no-op instead of diverging.
 //
 // The design exploits the paper's per-subscription independence: each
 // motif M = (GM, δ, φ) is evaluated on its own over the event stream
@@ -99,12 +108,28 @@ type Handoff struct {
 	Top     []*stream.Detection `json:"top,omitempty"`
 }
 
+// Batch is one replication unit: a time-ordered event slice tagged with
+// the replication-log sequence number of its newest entry. Seq 0 marks an
+// untagged (non-replicated) batch; tagged batches are idempotent — a
+// member that already applied Seq answers the resend with its recorded
+// ack (Dup set) instead of rejecting it as behind-frontier.
+type Batch struct {
+	Seq    int64            `json:"seq,omitempty"`
+	Events []temporal.Event `json:"events"`
+}
+
 // IngestAck acknowledges an ingest or flush: what was applied, the new
-// watermark, and how many detections the call finalized.
+// watermark, and how many detections the call finalized. For pipelined
+// coordinator ingest, Seq is the replication-log sequence the batch was
+// appended at and Detections is 0 (detections finalize asynchronously as
+// members apply the log; see Stats). For member ingest, Seq echoes the
+// applied batch tag and Dup marks an idempotent resend no-op.
 type IngestAck struct {
 	Ingested   int   `json:"ingested"`
 	Watermark  int64 `json:"watermark"`
 	Detections int64 `json:"detections"`
+	Seq        int64 `json:"seq,omitempty"`
+	Dup        bool  `json:"dup,omitempty"`
 }
 
 // QueryResult is one member's contribution to a scatter-gather query,
@@ -132,8 +157,10 @@ type MemberStats struct {
 // validation to the identical broadcast stream).
 type Member interface {
 	ID() string
-	// Ingest applies one time-ordered batch (all-or-nothing).
-	Ingest(events []temporal.Event) (IngestAck, error)
+	// Ingest applies one time-ordered batch (all-or-nothing). A batch
+	// tagged with a replication-log sequence number at or below the
+	// member's last applied tag is an idempotent no-op (Dup ack).
+	Ingest(b Batch) (IngestAck, error)
 	// Flush closes every still-open window (end-of-stream marker).
 	Flush() (IngestAck, error)
 	// AddSubscription installs a subscription, splicing the handoff's

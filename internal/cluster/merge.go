@@ -77,14 +77,29 @@ func mergeRecent(lists [][]*stream.Detection, limit int) []*stream.Detection {
 	return out
 }
 
+// Gather is the status of a scatter-gather answer: the watermark the
+// detections are aligned to, whether any gathered shard has started (a
+// watermark of 0 with Started false is "no data yet", distinguishable
+// from an empty-but-started stream), and whether the answer may be
+// incomplete (shards dropped from the gather, subscriptions unplaced, or
+// a member awaiting failover).
+type Gather struct {
+	Watermark int64 `json:"watermark"`
+	Started   bool  `json:"started"`
+	Degraded  bool  `json:"degraded"`
+}
+
 // alignWatermark implements scatter-gather watermark alignment: shards
 // answer queries without quiescing ingest, so a gather can observe shard A
-// past broadcast batch n while shard B is still at n−1. Detections
+// past replicated batch n while shard B is still at n−1. Detections
 // finalized beyond the slowest started shard's watermark are held back —
 // they would come and go between refreshes depending on which shards had
 // applied the newest batch. Returns the aligned watermark (the minimum
-// over started shards) and the filtered lists.
-func alignWatermark(results []QueryResult) (int64, [][]*stream.Detection) {
+// over started shards), whether any gathered shard has started — without
+// it, an aligned watermark of 0 with empty lists from a cluster that has
+// seen no events would be indistinguishable from an empty-but-healthy
+// one — and the filtered lists.
+func alignWatermark(results []QueryResult) (int64, bool, [][]*stream.Detection) {
 	alignedW := int64(0)
 	any := false
 	for _, r := range results {
@@ -117,5 +132,5 @@ func alignWatermark(results []QueryResult) (int64, [][]*stream.Detection) {
 		}
 		lists = append(lists, kept)
 	}
-	return alignedW, lists
+	return alignedW, any, lists
 }

@@ -16,7 +16,15 @@ import (
 // flowmotifd HTTP/JSON API: the data-plane endpoints match a single
 // server's (POST /ingest, /flush; GET /instances, /topk, /subs, /stats,
 // /metrics, /healthz), so clients need not know whether they talk to one
-// engine or a cluster, plus membership administration —
+// engine or a cluster, plus membership administration. POST /ingest acks
+// are pipelined ("pipelined": true with the replication-log "seq"): the
+// batch is durable in the coordinator's replication log and applied by
+// the shards asynchronously, so "detections" is 0 — watch /stats or the
+// per-shard replication_lag_* gauges on /metrics instead. Query responses
+// carry "started" (false until any shard has seen an event — an empty
+// answer from a fresh cluster is not the same as an empty stream) and
+// "degraded" (shards dropped from the gather, subscriptions unplaced, or
+// a member awaiting failover). Membership administration —
 //
 //	POST /members/add     {"id": "m4", "url": "http://10.0.0.7:8089"}
 //	                      register a member daemon and rebalance onto it.
@@ -112,10 +120,15 @@ func (cs *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeClusterErr(w, err)
 		return
 	}
+	// Pipelined ack: the batch is appended to the replication log and
+	// will be applied by every shard asynchronously; seq is its log
+	// position and detections finalize later (GET /stats, /metrics).
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Ingested:   ack.Ingested,
 		Watermark:  ack.Watermark,
 		Detections: ack.Detections,
+		Seq:        ack.Seq,
+		Pipelined:  true,
 	})
 }
 
@@ -145,14 +158,16 @@ func (cs *Coordinator) handleInstances(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ds, wm, err := cs.c.Instances(r.URL.Query().Get("sub"), limit)
+	ds, g, err := cs.c.Instances(r.URL.Query().Get("sub"), limit)
 	if err != nil {
 		writeClusterErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"count":     len(ds),
-		"watermark": wm,
+		"watermark": g.Watermark,
+		"started":   g.Started,
+		"degraded":  g.Degraded,
 		"instances": ds,
 	})
 }
@@ -168,7 +183,7 @@ func (cs *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sub := r.URL.Query().Get("sub")
-	ds, wm, err := cs.c.TopK(sub, k)
+	ds, g, err := cs.c.TopK(sub, k)
 	if err != nil {
 		writeClusterErr(w, err)
 		return
@@ -176,7 +191,9 @@ func (cs *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"sub":       sub,
 		"count":     len(ds),
-		"watermark": wm,
+		"watermark": g.Watermark,
+		"started":   g.Started,
+		"degraded":  g.Degraded,
 		"instances": ds,
 	})
 }
@@ -237,17 +254,22 @@ func (cs *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	st := cs.c.Stats()
 	out := map[string]interface{}{
-		"cluster.watermark":     st.Watermark,
-		"cluster.started":       st.Started,
-		"cluster.members":       len(st.Members),
-		"cluster.subscriptions": st.Subscriptions,
-		"cluster.batches":       st.Batches,
-		"cluster.events":        st.Events,
-		"cluster.history":       st.HistoryEvents,
-		"cluster.downs":         st.Downs,
-		"cluster.moves":         st.Moves,
-		"http.requests":         cs.reqs.Load(),
-		"uptime_seconds":        time.Since(cs.started).Seconds(),
+		"cluster.watermark":          st.Watermark,
+		"cluster.started":            st.Started,
+		"cluster.members":            len(st.Members),
+		"cluster.subscriptions":      st.Subscriptions,
+		"cluster.batches":            st.Batches,
+		"cluster.events":             st.Events,
+		"cluster.history":            st.HistoryEvents,
+		"cluster.downs":              st.Downs,
+		"cluster.moves":              st.Moves,
+		"cluster.head_seq":           st.HeadSeq,
+		"cluster.log_entries":        st.LogEntries,
+		"cluster.log_events":         st.LogEvents,
+		"cluster.backpressure_waits": st.Backpressure,
+		"cluster.degraded":           st.Degraded,
+		"http.requests":              cs.reqs.Load(),
+		"uptime_seconds":             time.Since(cs.started).Seconds(),
 	}
 	for _, m := range st.Members {
 		p := "shard." + m.ID + "."
@@ -257,6 +279,10 @@ func (cs *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out[p+"retained"] = m.Retained
 		out[p+"detections"] = m.Detections
 		out[p+"subscriptions"] = len(m.Subs)
+		out[p+"acked_seq"] = m.AckedSeq
+		out[p+"replication_lag_entries"] = m.ReplLagEntries
+		out[p+"replication_lag_events"] = m.ReplLagEvents
+		out[p+"failing"] = m.Failing
 	}
 	for name, m := range cs.eps {
 		n := m.count.Load()
@@ -277,17 +303,19 @@ func (cs *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	st := cs.c.Stats()
 	status := "ok"
-	if len(st.Unplaced) > 0 || len(st.Members) == 0 {
+	if st.Degraded || len(st.Members) == 0 {
 		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":    status,
-		"role":      "coordinator",
-		"members":   len(st.Members),
-		"unplaced":  len(st.Unplaced),
-		"watermark": st.Watermark,
-		"started":   st.Started,
-		"downs":     st.Downs,
+		"status":     status,
+		"role":       "coordinator",
+		"members":    len(st.Members),
+		"unplaced":   len(st.Unplaced),
+		"watermark":  st.Watermark,
+		"started":    st.Started,
+		"downs":      st.Downs,
+		"headSeq":    st.HeadSeq,
+		"logEntries": st.LogEntries,
 	})
 }
 

@@ -44,6 +44,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -132,6 +133,19 @@ type Server struct {
 	// epMu guards endpoint latency metrics (GET /metrics).
 	epMu sync.Mutex
 	eps  map[string]*endpointMetrics
+
+	// lastSeq/lastAck deduplicate seq-tagged replicated ingest (see
+	// ingestRequest.Seq); guarded by ingestMu. Not persisted: after a
+	// member restart a resend is rejected as behind-frontier and the
+	// coordinator fails the member over, regenerating from history.
+	lastSeq int64
+	lastAck ingestResponse
+	// walErr poisons ingest after a WAL append failed post-apply: the
+	// engine and WAL have diverged, so the server fail-stops ingest
+	// (every batch answers 500) instead of re-applying a retried batch
+	// or silently recording a WAL with a hole. A restart recovers from
+	// the WAL + snapshot. Guarded by ingestMu.
+	walErr error
 
 	// ingestMu serializes /ingest, /flush and snapshot *capture* so (a)
 	// the per-request "detections finalized by this batch" diff of two
@@ -517,12 +531,20 @@ type wireEvent struct {
 
 type ingestRequest struct {
 	Events []wireEvent `json:"events"`
+	// Seq tags a replicated batch with its replication-log sequence
+	// number (cluster coordinators set it; see internal/cluster). A seq
+	// at or below the last applied one marks a resend whose ack was lost:
+	// the server answers with the recorded ack instead of re-applying.
+	Seq int64 `json:"seq"`
 }
 
 type ingestResponse struct {
 	Ingested   int   `json:"ingested"`
 	Watermark  int64 `json:"watermark"`
 	Detections int64 `json:"detections"` // finalized by this batch
+	Seq        int64 `json:"seq,omitempty"`
+	Dup        bool  `json:"dup,omitempty"`       // idempotent resend no-op
+	Pipelined  bool  `json:"pipelined,omitempty"` // coordinator ack: applied asynchronously
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -542,18 +564,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// records the exact sequence the engine processed.
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
 	s.ingestMu.Lock()
-	before := s.engine.Stats().Detections
-	n, err := s.engine.Ingest(evs)
+	if s.walErr != nil {
+		s.ingestMu.Unlock()
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("wal broken, ingest fail-stopped (restart to recover): %w", s.walErr))
+		return
+	}
+	if req.Seq > 0 && req.Seq <= s.lastSeq {
+		resp := s.lastAck
+		resp.Dup = true
+		s.ingestMu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	ack, err := s.engine.IngestWithAck(evs)
 	if err == nil && s.st != nil {
 		if perr := s.st.Append(evs); perr != nil {
-			// The engine applied the batch but the WAL did not: durability
-			// is broken for these events, so fail loudly rather than ack.
+			// The engine applied the batch but the WAL did not: poison
+			// ingest (fail-stop) so a replication retry cannot re-apply the
+			// batch and later batches cannot widen the engine/WAL gap.
+			s.walErr = perr
+			if req.Seq > 0 {
+				s.lastSeq = req.Seq
+			}
 			s.ingestMu.Unlock()
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist: %w", perr))
 			return
 		}
 	}
-	st := s.engine.Stats()
+	resp := ingestResponse{
+		Ingested:   ack.Ingested,
+		Watermark:  ack.Watermark,
+		Detections: ack.Detections,
+		Seq:        req.Seq,
+	}
+	if err == nil && req.Seq > 0 {
+		s.lastSeq = req.Seq
+		s.lastAck = resp
+	}
 	s.ingestMu.Unlock()
 	if err != nil {
 		status := http.StatusBadRequest
@@ -563,11 +610,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{
-		Ingested:   n,
-		Watermark:  st.Watermark,
-		Detections: st.Detections - before,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
@@ -580,14 +623,12 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		defer s.snapMu.Unlock()
 	}
 	s.ingestMu.Lock()
-	before := s.engine.Stats().Detections
-	s.engine.Flush()
+	ack := s.engine.FlushWithAck()
 	var seq int64
 	var snap serverSnapshot
 	if s.st != nil {
 		seq, snap = s.captureSnapshotLocked()
 	}
-	st := s.engine.Stats()
 	s.ingestMu.Unlock()
 	if s.st != nil {
 		// A flush forecloses windows beyond the watermark; checkpointing
@@ -599,8 +640,8 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{
-		Watermark:  st.Watermark,
-		Detections: st.Detections - before,
+		Watermark:  ack.Watermark,
+		Detections: ack.Detections,
 	})
 }
 
@@ -802,12 +843,27 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
+// writeJSON encodes v to a buffer first and only then writes the status
+// header: encoding straight into the ResponseWriter would commit the
+// success status before a marshal failure could surface, leaving the
+// client a truncated body under a 200. An encode failure now yields a
+// clean 500 with a JSON error body instead.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Marshalling a map[string]string cannot fail, so the error body
+		// itself is safe to encode directly.
+		payload, _ := json.Marshal(map[string]string{"error": "response encoding failed: " + err.Error()})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write(append(payload, '\n'))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {

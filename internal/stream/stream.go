@@ -190,6 +190,18 @@ func (e *Engine) newSubState(s Subscription) (*subState, error) {
 	return &subState{sub: s}, nil
 }
 
+// Ack summarizes what one Ingest or Flush call did: how many events were
+// applied, the watermark afterwards, and how many detections the call
+// finalized. It is the engine-level acknowledgement the serving and
+// cluster layers relay upstream (the replication pipeline's ack-watermark
+// tracking rides on it).
+type Ack struct {
+	Ingested   int   `json:"ingested"`
+	Watermark  int64 `json:"watermark"`
+	Started    bool  `json:"started"`
+	Detections int64 `json:"detections"`
+}
+
 // Ingest appends a batch of events and finalizes every window the advanced
 // watermark closes, emitting its maximal instances to the sink. The batch
 // is sorted by timestamp internally; it must not reach behind the current
@@ -197,8 +209,20 @@ func (e *Engine) newSubState(s Subscription) (*subState, error) {
 // be internally unordered). Validation is all-or-nothing: on error no
 // event of the batch is ingested. Returns the number of events ingested.
 func (e *Engine) Ingest(events []temporal.Event) (int, error) {
+	ack, err := e.IngestWithAck(events)
+	return ack.Ingested, err
+}
+
+// IngestWithAck is Ingest returning the full acknowledgement — the new
+// watermark and the detections this batch finalized — in one call, without
+// the caller having to diff two Stats snapshots around the ingest (which
+// would need external serialization to be meaningful).
+func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 	if len(events) == 0 {
-		return 0, nil
+		e.mu.Lock()
+		w, ok := e.log.Watermark()
+		e.mu.Unlock()
+		return Ack{Watermark: w, Started: ok}, nil
 	}
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
@@ -210,24 +234,24 @@ func (e *Engine) Ingest(events []temporal.Event) (int, error) {
 	if batch[0].T < e.minNextT {
 		err := fmt.Errorf("%w: batch reaches back to t=%d, frontier is %d", ErrBehindFrontier, batch[0].T, e.minNextT)
 		e.mu.Unlock()
-		return 0, err
+		return Ack{}, err
 	}
 	for i := range batch {
 		ev := &batch[i]
 		if ev.From < 0 || ev.To < 0 {
 			e.mu.Unlock()
-			return 0, fmt.Errorf("stream: batch event %d: negative node id", i)
+			return Ack{}, fmt.Errorf("stream: batch event %d: negative node id", i)
 		}
 		if ev.F <= 0 || math.IsNaN(ev.F) || math.IsInf(ev.F, 0) {
 			e.mu.Unlock()
-			return 0, fmt.Errorf("stream: batch event %d: flow must be positive and finite (got %v)", i, ev.F)
+			return Ack{}, fmt.Errorf("stream: batch event %d: flow must be positive and finite (got %v)", i, ev.F)
 		}
 	}
 	for i := range batch {
 		if err := e.log.Append(batch[i]); err != nil {
 			// Unreachable: the batch was validated above.
 			e.mu.Unlock()
-			return i, fmt.Errorf("stream: append: %w", err)
+			return Ack{Ingested: i}, fmt.Errorf("stream: append: %w", err)
 		}
 	}
 	first := batch[0].T
@@ -245,8 +269,9 @@ func (e *Engine) Ingest(events []temporal.Event) (int, error) {
 	n := len(batch)
 	e.finalize(false)
 	e.evict()
+	ack := Ack{Ingested: n, Watermark: w, Started: true, Detections: int64(len(e.pending))}
 	e.emitPending() // unlocks mu
-	return n, nil
+	return ack, nil
 }
 
 // Flush finalizes every still-open window at the current watermark W.
@@ -257,20 +282,28 @@ func (e *Engine) Ingest(events []temporal.Event) (int, error) {
 // equivalence. A flush is therefore an end-of-stream marker (or a
 // deliberate gap), not a peek at pending results.
 func (e *Engine) Flush() {
+	e.FlushWithAck()
+}
+
+// FlushWithAck is Flush returning the acknowledgement: the watermark the
+// stream ended at and how many detections the flush finalized.
+func (e *Engine) FlushWithAck() Ack {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
 	w, ok := e.log.Watermark()
 	if !ok {
 		e.mu.Unlock()
-		return
+		return Ack{}
 	}
 	e.finalize(true)
 	if m := satAdd(w, e.maxDelta+1); m > e.minNextT {
 		e.minNextT = m
 	}
 	e.evict()
+	ack := Ack{Watermark: w, Started: true, Detections: int64(len(e.pending))}
 	e.emitPending() // unlocks mu
+	return ack
 }
 
 // emitPending drains the detections finalized by the current call to the

@@ -402,3 +402,40 @@ func TestTopKSink(t *testing.T) {
 		t.Fatalf("unknown sub returned %d detections", len(got))
 	}
 }
+
+// TestIngestWithAck pins the single-call acknowledgement the serving and
+// cluster layers rely on: the ack's detection count is exactly what the
+// call finalized (no Stats-diff around the call needed), and the
+// watermark matches the engine's.
+func TestIngestWithAck(t *testing.T) {
+	sink := NewMemorySink(16)
+	eng, err := NewEngine(Config{Subs: []Subscription{
+		{ID: "s", Motif: motif.MustPath(0, 1), Delta: 5},
+	}}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := eng.IngestWithAck(nil)
+	if err != nil || ack.Started || ack.Watermark != 0 {
+		t.Fatalf("empty ingest ack = %+v, err=%v", ack, err)
+	}
+	ack, err = eng.IngestWithAck([]temporal.Event{
+		{From: 0, To: 1, T: 10, F: 2},
+		{From: 0, To: 1, T: 40, F: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watermark 40 closes the window anchored at 10 (δ=5): exactly one
+	// detection finalized by this call.
+	if ack.Ingested != 2 || ack.Watermark != 40 || !ack.Started || ack.Detections != 1 {
+		t.Fatalf("ack = %+v, want {2, 40, started, 1 detection}", ack)
+	}
+	fl := eng.FlushWithAck()
+	if fl.Watermark != 40 || fl.Detections != 1 {
+		t.Fatalf("flush ack = %+v, want watermark 40, 1 detection", fl)
+	}
+	if got := eng.Stats().Detections; got != ack.Detections+fl.Detections {
+		t.Fatalf("Stats().Detections = %d, acks summed to %d", got, ack.Detections+fl.Detections)
+	}
+}
