@@ -320,6 +320,76 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamIngestManySubs measures the shared-evaluation planner
+// (DESIGN.md §11) across subscription counts: N subscriptions either all
+// watching one motif shape under distinct φ (the planner's best case — one
+// phase-P1 walk and one snapshot serve all N) or cycling through the
+// ten-shape catalog. The /baseline variants run the pre-planner
+// per-subscription rebuild (stream.Config.DisableSharedPlanner) for
+// comparison; 1000-sub variants use a shorter stream to keep `-benchtime
+// 1x` smoke runs bounded.
+func BenchmarkStreamIngestManySubs(b *testing.B) {
+	ds := harness.Bitcoin(benchScale)
+	evs := ds.G.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	minT, maxT := ds.G.TimeSpan()
+	span := maxT - minT + ds.Delta + 1
+
+	for _, n := range []int{1, 10, 100, 1000} {
+		events := evs
+		if n >= 1000 && len(events) > len(evs)/5 {
+			events = events[:len(evs)/5]
+		}
+		for _, mode := range []struct {
+			name     string
+			shared   bool
+			baseline bool
+		}{
+			{"shared-shape", true, false},
+			{"shared-shape/baseline", true, true},
+			{"distinct-shapes", false, false},
+		} {
+			if mode.baseline && n > 100 {
+				continue // linear in n; the 100-sub ratio already tells the story
+			}
+			b.Run(fmt.Sprintf("subs=%d/%s", n, mode.name), func(b *testing.B) {
+				eng, err := stream.NewEngine(stream.Config{
+					Subs:                 stream.BenchSubs(n, mode.shared, ds.Delta, ds.Phi),
+					DisableSharedPlanner: mode.baseline,
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				batch := make([]temporal.Event, 0, 2048)
+				b.ResetTimer()
+				for pass := 0; pass < b.N; pass++ {
+					offset := int64(pass) * span
+					for lo := 0; lo < len(events); lo += 2048 {
+						hi := lo + 2048
+						if hi > len(events) {
+							hi = len(events)
+						}
+						batch = batch[:0]
+						for _, e := range events[lo:hi] {
+							e.T += offset
+							batch = append(batch, e)
+						}
+						if _, err := eng.Ingest(batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				st := eng.Stats()
+				total := float64(b.N) * float64(len(events))
+				b.ReportMetric(total/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(st.SnapshotReuse, "bands/snapshot")
+				b.ReportMetric(float64(st.MatchesShared)/float64(b.N), "matches-shared/pass")
+			})
+		}
+	}
+}
+
 // BenchmarkStoreAppend measures durable WAL ingestion (the flowmotifd
 // -data-dir hot path) in events per second: each iteration appends the
 // whole dataset in 512-event batches, timestamps shifted forward per pass

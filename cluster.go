@@ -62,9 +62,18 @@ func NewClusterHTTPMember(id, baseURL string) *ClusterHTTPMember {
 	return cluster.NewHTTPMember(id, baseURL, nil)
 }
 
-// ClusterPlacement predicts the rendezvous owner of every subscription id
-// over a member set (e.g. to preview the moves a membership change will
-// cause).
+// ClusterPlacement predicts the rendezvous owner of raw placement keys
+// over a member set. Note a coordinator hashes subscriptions by their
+// motif's shape (so same-shape subscriptions co-locate and share their
+// shard's evaluation plan; DESIGN.md §11) — use ClusterPlacementOf to
+// preview where actual subscriptions land.
 func ClusterPlacement(subIDs, members []string) map[string]string {
 	return cluster.Placement(subIDs, members)
+}
+
+// ClusterPlacementOf predicts, per subscription id, the member a
+// coordinator will place it on under the group-aware (motif-shape) key —
+// e.g. to preview the moves a membership change will cause.
+func ClusterPlacementOf(subs []StreamSubscription, members []string) map[string]string {
+	return cluster.PlacementOf(subs, members)
 }

@@ -30,6 +30,7 @@ import (
 
 	"flowmotif/internal/cluster"
 	"flowmotif/internal/harness"
+	"flowmotif/internal/stream"
 )
 
 func main() {
@@ -46,9 +47,17 @@ func main() {
 		benchEvs   = flag.Int("bench-events", 60000, "stream length for -bench-cluster")
 		benchBase  = flag.String("bench-baseline", "", "baseline BENCH_cluster.json to compare against (CI regression gate)")
 		benchTol   = flag.Float64("bench-max-regress", 0.30, "fail when a tracked metric regresses by more than this fraction vs -bench-baseline")
+
+		benchStream    = flag.Bool("bench-stream", false, "run the many-subscription streaming ingest benchmark (shared-evaluation planner vs per-subscription baseline)")
+		benchStreamOut = flag.String("bench-stream-out", "BENCH_stream.json", "output path for -bench-stream (JSON)")
+		benchStreamMin = flag.Float64("bench-stream-min-speedup", 0, "fail unless the shared planner beats the per-sub baseline by at least this factor at 100 shared-shape subscriptions (0: no gate)")
 	)
 	flag.Parse()
 
+	if *benchStream {
+		runStreamBench(*benchStreamOut, *seed, *benchStreamMin)
+		return
+	}
 	if *benchClust {
 		runClusterBench(*benchShard, *benchEvs, *seed, *benchOut, *benchBase, *benchTol)
 		return
@@ -151,6 +160,48 @@ func run(name string, f func()) {
 	t0 := time.Now()
 	f()
 	fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+}
+
+// runStreamBench measures many-subscription streaming ingest (the
+// shared-evaluation planner of DESIGN.md §11 against the per-subscription
+// baseline), writes BENCH_stream.json, and optionally gates on the 100-sub
+// shared-shape speedup. The speedup is a same-run ratio, so the gate is
+// stable across machines (unlike absolute events/sec).
+func runStreamBench(out string, seed int64, minSpeedup float64) {
+	fmt.Println("stream bench: subscription sweep, shared vs distinct shapes, planner vs per-sub baseline...")
+	t0 := time.Now()
+	rep, err := stream.RunBench(stream.BenchConfig{Seed: seed})
+	if err != nil {
+		fatal(err.Error())
+	}
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err.Error())
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(out, payload, 0o644); err != nil {
+		fatal(err.Error())
+	}
+	for _, r := range rep.Rows {
+		fmt.Printf("  %4d subs  %-8s  %-7s  %10.0f events/sec  reuse %5.1f  shared-matches %d\n",
+			r.Subs, r.Shapes, r.Planner, r.EventsPerSec, r.SnapshotReuse, r.MatchesShared)
+	}
+	for _, n := range []string{"1", "10", "100", "1000"} {
+		if s, ok := rep.SharedSpeedup[n]; ok {
+			fmt.Printf("  shared-shape speedup at %4s subs: %.1fx (planner vs per-sub rebuild)\n", n, s)
+		}
+	}
+	fmt.Printf("wrote %s in %v\n", out, time.Since(t0).Round(time.Millisecond))
+	if minSpeedup > 0 {
+		s, ok := rep.SharedSpeedup["100"]
+		if !ok {
+			fatal("bench gate: no 100-subscription shared-shape measurement in the report")
+		}
+		if s < minSpeedup {
+			fatal(fmt.Sprintf("bench regression: shared planner speedup at 100 shared-shape subs is %.2fx, want >= %.2fx", s, minSpeedup))
+		}
+		fmt.Printf("bench gate ok: %.1fx >= %.1fx at 100 shared-shape subs\n", s, minSpeedup)
+	}
 }
 
 // runClusterBench measures the cluster layer, writes the JSON report, and

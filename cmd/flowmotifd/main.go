@@ -33,6 +33,10 @@
 // API as a single daemon, plus POST /members/add, /members/remove and
 // /members/fail.
 //
+// With -pprof-addr the daemon serves net/http/pprof on a separate, opt-in
+// listener, so the streaming hot path can be profiled in situ (CPU, heap,
+// mutex) without exposing the profiler on the public API address.
+//
 // With -data-dir the daemon is durable: every acknowledged batch lands in
 // a segmented write-ahead log, engine state is checkpointed periodically
 // (-snapshot-every), on POST /snapshot, and on graceful shutdown, and a
@@ -55,6 +59,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -158,10 +163,29 @@ func main() {
 		histCap  = flag.Int("history-limit", 0, "coordinator: bound retained broadcast history in events (0: unlimited; bounds failover regeneration)")
 		queueCap = flag.Int("queue-depth", 0, "coordinator: per-member replication queue depth in batches before ingest backpressures (0: default 128)")
 		coalesce = flag.Int("coalesce-events", 0, "coordinator: max events folded into one member call when a replication backlog drains (0: default 2048)")
+		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for in-situ profiling of the ingest hot path; empty disables")
 	)
 	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
 	flag.Var(&joins, "join", `coordinator: member daemon "id=http://host:port" (repeatable)`)
 	flag.Parse()
+
+	if *pprofAdr != "" {
+		// Opt-in profiling endpoint on its own listener and mux, so the
+		// profiler never rides on (or leaks through) the public API address.
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("pprof listening on %s (opt-in; keep this address private)", *pprofAdr)
+			ps := &http.Server{Addr: *pprofAdr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ps.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	if *coord {
 		runCoordinator(coordOptions{

@@ -86,6 +86,13 @@ type Coordinator struct {
 	owner    map[string]string // subID -> memberID
 	unplaced map[string]bool   // subs that lost their member with no survivor
 
+	// placeKey maps subID -> group-aware rendezvous key (the motif shape,
+	// see GroupKey): same-shape subscriptions hash identically and so
+	// co-locate on one member, where the engine's shared-evaluation
+	// planner amortizes phase P1 across them. Immutable after New (the
+	// subscription set is fixed at construction), so it is read without mu.
+	placeKey map[string]string
+
 	repl      []logEntry // replication log: appended, not yet acked by all
 	replBase  int64      // seq of repl[0] when non-empty
 	headSeq   int64      // newest appended sequence (0 before any append)
@@ -134,6 +141,7 @@ func New(cfg Config) (*Coordinator, error) {
 		subs:       map[string]stream.Subscription{},
 		owner:      map[string]string{},
 		unplaced:   map[string]bool{},
+		placeKey:   map[string]string{},
 		minNextT:   math.MinInt64,
 		replBase:   1,
 	}
@@ -163,13 +171,14 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: duplicate subscription id %q", sub.ID)
 		}
 		c.subs[sub.ID] = sub
+		c.placeKey[sub.ID] = GroupKey(sub)
 		if sub.Delta > c.maxDelta {
 			c.maxDelta = sub.Delta
 		}
 	}
 	ids := c.memberIDsLocked()
 	for _, subID := range sortedKeys(c.subs) {
-		target := rendezvousOwner(subID, ids)
+		target := rendezvousOwner(c.groupKeyOf(subID), ids)
 		h := Handoff{Sub: SpecOf(c.subs[subID])}
 		if err := c.members[target].m.AddSubscription(h); err != nil {
 			return nil, fmt.Errorf("cluster: placing %q on %q: %w", subID, target, err)
@@ -185,6 +194,15 @@ func New(cfg Config) (*Coordinator, error) {
 
 func (c *Coordinator) memberIDsLocked() []string {
 	return sortedKeys(c.members)
+}
+
+// groupKeyOf resolves a subscription to its group-aware rendezvous key
+// (placeKey is immutable after New; safe without mu).
+func (c *Coordinator) groupKeyOf(subID string) string {
+	if k, ok := c.placeKey[subID]; ok {
+		return k
+	}
+	return subID
 }
 
 // retry calls fn up to 1+Retries times while it keeps failing with
@@ -474,7 +492,7 @@ func (c *Coordinator) replaceLocked(subID string, survivors []string) (string, e
 	}
 	delete(c.owner, subID)
 	c.unplaced[subID] = true
-	target := rendezvousOwner(subID, survivors)
+	target := rendezvousOwner(c.groupKeyOf(subID), survivors)
 	if target == "" {
 		c.mu.Unlock()
 		return "", nil
@@ -584,7 +602,7 @@ func (c *Coordinator) AddMember(m Member) error {
 		if !placed {
 			continue
 		}
-		target := rendezvousOwner(subID, ids)
+		target := rendezvousOwner(c.groupKeyOf(subID), ids)
 		if target == from {
 			continue
 		}
@@ -631,7 +649,7 @@ func (c *Coordinator) RemoveMember(id string) error {
 	}
 	c.mu.Unlock()
 	for _, subID := range owned {
-		target := rendezvousOwner(subID, rest)
+		target := rendezvousOwner(c.groupKeyOf(subID), rest)
 		if err := c.moveLocked(subID, id, target); err != nil {
 			return err
 		}
@@ -889,6 +907,13 @@ type MemberInfo struct {
 	Events     int64    `json:"events"`
 	Retained   int      `json:"retained"`
 	Detections int64    `json:"detections"`
+	// Shared-evaluation planner gauges of the member's engine (DESIGN.md
+	// §11): plan groups served, snapshots built, bands-per-snapshot reuse
+	// ratio, and matches served from a shared per-shape list.
+	PlanGroups     int     `json:"planGroups,omitempty"`
+	SnapshotBuilds int64   `json:"snapshotBuilds,omitempty"`
+	SnapshotReuse  float64 `json:"snapshotReuse,omitempty"`
+	MatchesShared  int64   `json:"matchesShared,omitempty"`
 	// Replication-pipeline position (DESIGN.md §10): the newest log entry
 	// this member has applied and acked, the watermark it reported with
 	// that ack (the coordinator's own record — available even when the
@@ -904,18 +929,23 @@ type MemberInfo struct {
 
 // ClusterStats snapshots cluster progress and health.
 type ClusterStats struct {
-	Members       []MemberInfo      `json:"members"`
-	Placement     map[string]string `json:"placement"`
-	Unplaced      []string          `json:"unplaced,omitempty"`
-	Subscriptions int               `json:"subscriptions"`
-	Watermark     int64             `json:"watermark"`
-	Started       bool              `json:"started"`
-	Batches       int64             `json:"batches"`
-	Events        int64             `json:"events"`
-	HistoryEvents int               `json:"historyEvents"`
-	HistoryTrim   int64             `json:"historyTrimmed"`
-	Downs         int64             `json:"downs"`
-	Moves         int64             `json:"moves"`
+	Members   []MemberInfo      `json:"members"`
+	Placement map[string]string `json:"placement"`
+	Unplaced  []string          `json:"unplaced,omitempty"`
+	// PlacementGroups is the number of distinct group-aware placement keys
+	// (motif shapes) across the subscription set — the unit rendezvous
+	// hashing distributes, so same-shape subscriptions co-locate and share
+	// their member's evaluation plan.
+	PlacementGroups int   `json:"placementGroups"`
+	Subscriptions   int   `json:"subscriptions"`
+	Watermark       int64 `json:"watermark"`
+	Started         bool  `json:"started"`
+	Batches         int64 `json:"batches"`
+	Events          int64 `json:"events"`
+	HistoryEvents   int   `json:"historyEvents"`
+	HistoryTrim     int64 `json:"historyTrimmed"`
+	Downs           int64 `json:"downs"`
+	Moves           int64 `json:"moves"`
 	// Replication-log gauges: the newest appended sequence, the entries
 	// and events still queued for at least one member, how often Ingest
 	// blocked on a full member queue, and whether query answers may be
@@ -950,22 +980,27 @@ func (c *Coordinator) Stats() ClusterStats {
 			}
 		}
 	}
+	groups := map[string]bool{}
+	for _, k := range c.placeKey {
+		groups[k] = true
+	}
 	st := ClusterStats{
-		Placement:     map[string]string{},
-		Subscriptions: len(c.subs),
-		Watermark:     c.watermark,
-		Started:       c.started,
-		Batches:       c.batches,
-		Events:        c.events,
-		HistoryEvents: len(c.history),
-		HistoryTrim:   c.histDropped,
-		Downs:         c.downs,
-		Moves:         c.moves,
-		HeadSeq:       c.headSeq,
-		LogEntries:    len(c.repl),
-		LogEvents:     c.logEvents,
-		Backpressure:  c.backpressure,
-		Degraded:      len(c.unplaced) > 0 || c.failedCount > 0,
+		Placement:       map[string]string{},
+		PlacementGroups: len(groups),
+		Subscriptions:   len(c.subs),
+		Watermark:       c.watermark,
+		Started:         c.started,
+		Batches:         c.batches,
+		Events:          c.events,
+		HistoryEvents:   len(c.history),
+		HistoryTrim:     c.histDropped,
+		Downs:           c.downs,
+		Moves:           c.moves,
+		HeadSeq:         c.headSeq,
+		LogEntries:      len(c.repl),
+		LogEvents:       c.logEvents,
+		Backpressure:    c.backpressure,
+		Degraded:        len(c.unplaced) > 0 || c.failedCount > 0,
 	}
 	for sub, id := range c.owner {
 		st.Placement[sub] = id
@@ -983,6 +1018,10 @@ func (c *Coordinator) Stats() ClusterStats {
 			info.Events = s.Events
 			info.Retained = s.Retained
 			info.Detections = s.Detections
+			info.PlanGroups = s.PlanGroups
+			info.SnapshotBuilds = s.SnapshotBuilds
+			info.SnapshotReuse = s.SnapshotReuse
+			info.MatchesShared = s.MatchesShared
 			if s.Started {
 				info.Lag = st.Watermark - s.Watermark
 			}

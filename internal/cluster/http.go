@@ -179,11 +179,15 @@ func (m *HTTPMember) TopK(sub string, k int) (QueryResult, error) {
 // statsResponse picks the member-relevant subset of GET /stats.
 type statsResponse struct {
 	Engine struct {
-		EventsIngested int64 `json:"eventsIngested"`
-		EventsRetained int   `json:"eventsRetained"`
-		Watermark      int64 `json:"watermark"`
-		Started        bool  `json:"started"`
-		Detections     int64 `json:"detections"`
+		EventsIngested int64   `json:"eventsIngested"`
+		EventsRetained int     `json:"eventsRetained"`
+		Watermark      int64   `json:"watermark"`
+		Started        bool    `json:"started"`
+		Detections     int64   `json:"detections"`
+		PlanGroups     int     `json:"planGroups"`
+		SnapshotBuilds int64   `json:"snapshotBuilds"`
+		SnapshotReuse  float64 `json:"snapshotReuse"`
+		MatchesShared  int64   `json:"matchesShared"`
 		Subs           []struct {
 			ID string `json:"id"`
 		} `json:"subs"`
@@ -197,12 +201,16 @@ func (m *HTTPMember) Stats() (MemberStats, error) {
 		return MemberStats{}, err
 	}
 	out := MemberStats{
-		ID:         m.id,
-		Watermark:  resp.Engine.Watermark,
-		Started:    resp.Engine.Started,
-		Events:     resp.Engine.EventsIngested,
-		Retained:   resp.Engine.EventsRetained,
-		Detections: resp.Engine.Detections,
+		ID:             m.id,
+		Watermark:      resp.Engine.Watermark,
+		Started:        resp.Engine.Started,
+		Events:         resp.Engine.EventsIngested,
+		Retained:       resp.Engine.EventsRetained,
+		Detections:     resp.Engine.Detections,
+		PlanGroups:     resp.Engine.PlanGroups,
+		SnapshotBuilds: resp.Engine.SnapshotBuilds,
+		SnapshotReuse:  resp.Engine.SnapshotReuse,
+		MatchesShared:  resp.Engine.MatchesShared,
 	}
 	for _, s := range resp.Engine.Subs {
 		out.Subs = append(out.Subs, s.ID)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -167,6 +168,13 @@ func (m *LocalMember) Ingest(b Batch) (IngestAck, error) {
 	}
 	ack, err := m.eng.IngestWithAck(b.Events)
 	if err != nil {
+		if errors.Is(err, stream.ErrFailStopped) {
+			// The engine poisoned itself (partial batch append): surface the
+			// shard as down so the coordinator fails it over and regenerates
+			// its subscriptions from history, exactly like the WAL-poison
+			// path below.
+			return IngestAck{}, fmt.Errorf("%w: %s: %v", ErrMemberDown, m.id, err)
+		}
 		return IngestAck{}, err
 	}
 	if m.st != nil {
@@ -196,6 +204,11 @@ func (m *LocalMember) Flush() (IngestAck, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.eng.Err(); err != nil {
+		// A fail-stopped engine flushes nothing; report the shard down so
+		// the coordinator fails it over instead of trusting an empty ack.
+		return IngestAck{}, fmt.Errorf("%w: %s: %v", ErrMemberDown, m.id, err)
+	}
 	ack := m.eng.FlushWithAck()
 	return IngestAck{Watermark: ack.Watermark, Detections: ack.Detections}, nil
 }
@@ -263,12 +276,16 @@ func (m *LocalMember) Stats() (MemberStats, error) {
 	}
 	st := m.eng.Stats()
 	out := MemberStats{
-		ID:         m.id,
-		Watermark:  st.Watermark,
-		Started:    st.Started,
-		Events:     st.EventsIngested,
-		Retained:   st.EventsRetained,
-		Detections: st.Detections,
+		ID:             m.id,
+		Watermark:      st.Watermark,
+		Started:        st.Started,
+		Events:         st.EventsIngested,
+		Retained:       st.EventsRetained,
+		Detections:     st.Detections,
+		PlanGroups:     st.PlanGroups,
+		SnapshotBuilds: st.SnapshotBuilds,
+		SnapshotReuse:  st.SnapshotReuse,
+		MatchesShared:  st.MatchesShared,
 	}
 	for _, s := range st.Subs {
 		out.Subs = append(out.Subs, s.ID)

@@ -35,7 +35,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"flowmotif/internal/motif"
 	"flowmotif/internal/stream"
@@ -79,16 +78,12 @@ func (s SubSpec) Subscription() (stream.Subscription, error) {
 	return stream.Subscription{ID: s.ID, Motif: mo, Delta: s.Delta, Phi: s.Phi}, nil
 }
 
-// SpecOf converts an engine subscription to its wire form.
+// SpecOf converts an engine subscription to its wire form (the motif
+// travels as its canonical shape key, which Parse round-trips).
 func SpecOf(sub stream.Subscription) SubSpec {
-	path := sub.Motif.Path()
-	parts := make([]string, len(path))
-	for i, v := range path {
-		parts[i] = fmt.Sprint(v)
-	}
 	return SubSpec{
 		ID:    sub.ID,
-		Motif: strings.Join(parts, "-"),
+		Motif: sub.Motif.ShapeKey(),
 		Name:  sub.Motif.Name(),
 		Delta: sub.Delta,
 		Phi:   sub.Phi,
@@ -140,15 +135,23 @@ type QueryResult struct {
 	Detections []*stream.Detection `json:"detections"`
 }
 
-// MemberStats is one member's progress snapshot.
+// MemberStats is one member's progress snapshot. The planner gauges mirror
+// the engine's shared-evaluation counters (stream.Stats, DESIGN.md §11):
+// how many (shape, δ) plan groups the member currently serves, how many
+// snapshots it built, the bands-per-snapshot reuse ratio, and how many
+// structural matches were served from a shared per-shape list.
 type MemberStats struct {
-	ID         string   `json:"id"`
-	Subs       []string `json:"subs"`
-	Watermark  int64    `json:"watermark"`
-	Started    bool     `json:"started"`
-	Events     int64    `json:"events"`
-	Retained   int      `json:"retained"`
-	Detections int64    `json:"detections"`
+	ID             string   `json:"id"`
+	Subs           []string `json:"subs"`
+	Watermark      int64    `json:"watermark"`
+	Started        bool     `json:"started"`
+	Events         int64    `json:"events"`
+	Retained       int      `json:"retained"`
+	Detections     int64    `json:"detections"`
+	PlanGroups     int      `json:"planGroups,omitempty"`
+	SnapshotBuilds int64    `json:"snapshotBuilds,omitempty"`
+	SnapshotReuse  float64  `json:"snapshotReuse,omitempty"`
+	MatchesShared  int64    `json:"matchesShared,omitempty"`
 }
 
 // Member is the coordinator's view of one shard engine. Implementations

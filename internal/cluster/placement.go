@@ -3,6 +3,8 @@ package cluster
 import (
 	"hash/fnv"
 	"sort"
+
+	"flowmotif/internal/stream"
 )
 
 // rendezvousOwner picks the member that owns a subscription under
@@ -29,13 +31,48 @@ func rendezvousOwner(subID string, members []string) string {
 	return best
 }
 
-// Placement maps every subscription id to its rendezvous owner over the
-// given member set. Exported for operators and tests that want to predict
-// moves before a membership change.
+// Placement maps every key to its rendezvous owner over the given member
+// set. Exported for operators and tests that want to predict moves before
+// a membership change. Note the coordinator does not hash raw subscription
+// ids: it hashes GroupKey(sub), so same-shape subscriptions co-locate; use
+// PlacementOf to predict actual subscription placement.
 func Placement(subIDs, members []string) map[string]string {
 	out := make(map[string]string, len(subIDs))
 	for _, id := range subIDs {
 		out[id] = rendezvousOwner(id, members)
+	}
+	return out
+}
+
+// GroupKey returns the placement key of a subscription: its motif's
+// canonical shape. Hashing the shape instead of the subscription id makes
+// rendezvous placement group-aware — every subscription watching the same
+// motif shape lands on the same member, where the engine's
+// shared-evaluation planner (internal/stream, DESIGN.md §11) runs phase P1
+// once for all of them. Membership changes and failover re-place by the
+// same key, so group integrity survives add/drain/fail.
+func GroupKey(sub stream.Subscription) string {
+	return "shape:" + sub.Motif.ShapeKey()
+}
+
+// PlacementOf maps subscriptions to their rendezvous owners under the
+// coordinator's group-aware key (see GroupKey), so operators can predict
+// where subscriptions land and which co-locate. Ids resolve like the
+// coordinator's: an empty ID defaults to the motif name, so a sub set the
+// coordinator would reject as duplicate ids collapses to one entry here.
+// A nil-motif subscription (also a coordinator construction error) falls
+// back to hashing its id.
+func PlacementOf(subs []stream.Subscription, members []string) map[string]string {
+	out := make(map[string]string, len(subs))
+	for _, sub := range subs {
+		id, key := sub.ID, sub.ID
+		if sub.Motif != nil {
+			if id == "" {
+				id = sub.Motif.Name()
+			}
+			key = GroupKey(sub)
+		}
+		out[id] = rendezvousOwner(key, members)
 	}
 	return out
 }

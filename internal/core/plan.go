@@ -1,0 +1,92 @@
+package core
+
+// This file holds the shared-evaluation entry points for the streaming
+// planner (internal/stream, DESIGN.md §11): phase P1 is run once per motif
+// shape and its match list fanned out to many phase-P2 enumerations with
+// per-subscription (δ, φ, anchor band) parameters.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flowmotif/internal/match"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// CollectMatches materializes the structural matches of mo in g that
+// survive temporal-feasibility pruning at duration delta (the fused
+// phase-P1 walk, fused.go). A match is kept iff some anchored strictly
+// increasing event chain fits inside a delta window — a necessary
+// condition for any instance under any δ' <= delta — so one list collected
+// at the largest δ of a shape's plan groups serves every group of that
+// shape: EnumerateMatchesRange with a smaller Delta over the list yields
+// exactly what a fresh search at that Delta would.
+func CollectMatches(g *temporal.Graph, mo *motif.Motif, delta int64) ([]match.Match, error) {
+	if err := (Params{Delta: delta}).validate(); err != nil {
+		return nil, err
+	}
+	var out []match.Match
+	fusedSource(g, mo, delta)(func(m *match.Match) bool {
+		out = append(out, m.Clone())
+		return true
+	})
+	return out, nil
+}
+
+// EnumerateMatchesRange runs phase P2 over a pre-collected match list with
+// window anchors restricted to [anchorLo, anchorHi] (see EnumerateRange
+// for the band semantics). With p.Workers > 1 the matches are sharded over
+// that many goroutines and visit must be safe for concurrent use. This is
+// the fan-out half of the shared-evaluation planner: many subscriptions
+// sharing a motif shape each call it with their own (δ, φ, band) over one
+// CollectMatches list and one shared graph snapshot.
+func EnumerateMatchesRange(g *temporal.Graph, mo *motif.Motif, matches []match.Match, p Params, anchorLo, anchorHi int64, visit Visitor) (EnumStats, error) {
+	if err := p.validate(); err != nil {
+		return EnumStats{}, err
+	}
+	if anchorLo > anchorHi || len(matches) == 0 {
+		return EnumStats{}, nil
+	}
+	pass := func(f float64) bool { return f >= p.Phi }
+	if p.Workers > 1 {
+		return enumerateMatchesParallel(g, mo, matches, p, pass, anchorLo, anchorHi, visit), nil
+	}
+	return enumerate(g, sliceSource(matches), mo, p, pass, anchorLo, anchorHi, visit), nil
+}
+
+// enumerateMatchesParallel shards a match slice over p.Workers goroutines,
+// each running its own Algorithm-1 state.
+func enumerateMatchesParallel(g *temporal.Graph, mo *motif.Motif, matches []match.Match, p Params, pass passFunc, anchorLo, anchorHi int64, visit Visitor) EnumStats {
+	var (
+		total   EnumStats
+		mu      sync.Mutex
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := newMatchEnum(g, mo, p, pass, anchorLo, anchorHi, visit)
+			for !stopped.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(len(matches)) {
+					break
+				}
+				e.stats.Matches++
+				e.run(&matches[i])
+				if e.stopped {
+					stopped.Store(true)
+					break
+				}
+			}
+			mu.Lock()
+			total.add(&e.stats)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}

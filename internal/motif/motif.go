@@ -25,9 +25,10 @@ const MaxEdges = 16
 
 // Motif is an immutable flow motif graph GM with its spanning path.
 type Motif struct {
-	path []int // spanning-path vertex sequence, canonical labels
-	numV int
-	name string
+	path  []int // spanning-path vertex sequence, canonical labels
+	numV  int
+	name  string
+	shape string // canonical spanning-path key, e.g. "0-1-2-0"
 }
 
 var (
@@ -77,6 +78,11 @@ func FromPath(seq ...int) (*Motif, error) {
 	}
 	m := &Motif{path: canon, numV: len(relabel)}
 	m.name = fmt.Sprintf("M(%d,%d)", m.numV, m.NumEdges())
+	parts := make([]string, len(canon))
+	for i, v := range canon {
+		parts[i] = strconv.Itoa(v)
+	}
+	m.shape = strings.Join(parts, "-")
 	return m, nil
 }
 
@@ -143,13 +149,19 @@ func (m *Motif) IsCyclic() bool { return m.numV < len(m.path) }
 // Name returns the display name (defaults to "M(v,e)").
 func (m *Motif) Name() string { return m.name }
 
+// ShapeKey returns the canonical spanning-path form of the motif, e.g.
+// "0-1-2-0". Because FromPath relabels vertices to first-appearance order,
+// two motifs carry equal keys iff they are the same flow-motif shape,
+// whatever display names they were given. The streaming engine groups
+// subscriptions into plan groups by it so phase P1 runs once per shape
+// (internal/stream), and the cluster co-locates same-shape subscriptions
+// onto one shard (internal/cluster); see DESIGN.md §11. The key round-trips
+// through Parse.
+func (m *Motif) ShapeKey() string { return m.shape }
+
 // String returns the name and the spanning path, e.g. "M(3,3)[0-1-2-0]".
 func (m *Motif) String() string {
-	parts := make([]string, len(m.path))
-	for i, v := range m.path {
-		parts[i] = strconv.Itoa(v)
-	}
-	return m.name + "[" + strings.Join(parts, "-") + "]"
+	return m.name + "[" + m.shape + "]"
 }
 
 // Parse builds a motif from a textual description. Accepted forms:

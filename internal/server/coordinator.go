@@ -258,6 +258,7 @@ func (cs *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cluster.started":            st.Started,
 		"cluster.members":            len(st.Members),
 		"cluster.subscriptions":      st.Subscriptions,
+		"cluster.placement_groups":   st.PlacementGroups,
 		"cluster.batches":            st.Batches,
 		"cluster.events":             st.Events,
 		"cluster.history":            st.HistoryEvents,
@@ -283,6 +284,10 @@ func (cs *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out[p+"replication_lag_entries"] = m.ReplLagEntries
 		out[p+"replication_lag_events"] = m.ReplLagEvents
 		out[p+"failing"] = m.Failing
+		out[p+"plan_groups"] = m.PlanGroups
+		out[p+"snapshot_builds"] = m.SnapshotBuilds
+		out[p+"snapshot_reuse_ratio"] = m.SnapshotReuse
+		out[p+"matches_shared"] = m.MatchesShared
 	}
 	for name, m := range cs.eps {
 		n := m.count.Load()

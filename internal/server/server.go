@@ -292,21 +292,30 @@ func (s *Server) Snapshot() (int64, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	s.ingestMu.Lock()
-	seq, snap := s.captureSnapshotLocked()
+	seq, snap, err := s.captureSnapshotLocked()
 	s.ingestMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
 	return seq, s.writeSnapshot(seq, snap)
 }
 
 // captureSnapshotLocked must be called with ingestMu held, so the
 // captured WAL seq and engine state agree. The returned state is a
 // consistent point-in-time copy safe to serialize after the lock is
-// released.
-func (s *Server) captureSnapshotLocked() (int64, serverSnapshot) {
+// released. A fail-stopped engine refuses the capture (see
+// stream.ErrFailStopped) — checkpointing its diverged log would launder
+// the partial batch into the authoritative recovery state.
+func (s *Server) captureSnapshotLocked() (int64, serverSnapshot, error) {
+	eng, err := s.engine.Snapshot()
+	if err != nil {
+		return 0, serverSnapshot{}, err
+	}
 	return s.st.Seq(), serverSnapshot{
-		Engine: s.engine.Snapshot(),
+		Engine: eng,
 		Recent: s.recent.Snapshot(),
 		TopK:   s.topk.Snapshot(),
-	}
+	}, nil
 }
 
 // writeSnapshot must be called with snapMu held (ordering concurrent
@@ -397,8 +406,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"engine.batches":         st.Batches,
 		"engine.detections":      st.Detections,
 		"engine.subscriptions":   len(st.Subs),
-		"http.requests":          s.reqs.Load(),
-		"uptime_seconds":         time.Since(s.started).Seconds(),
+		// Shared-evaluation planner gauges (DESIGN.md §11): plan-group
+		// count, snapshots built, bands served per snapshot (the reuse
+		// ratio), phase-P1 runs and matches served from shared lists.
+		"engine.plan_groups":          st.PlanGroups,
+		"engine.snapshot_builds":      st.SnapshotBuilds,
+		"engine.snapshot_reuse_ratio": st.SnapshotReuse,
+		"engine.match_runs":           st.MatchRuns,
+		"engine.matches_shared":       st.MatchesShared,
+		"http.requests":               s.reqs.Load(),
+		"uptime_seconds":              time.Since(s.started).Seconds(),
 	}
 	if s.st != nil {
 		out["store.wal_events"] = s.st.Seq()
@@ -604,8 +621,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.Unlock()
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, stream.ErrBehindFrontier) {
+		switch {
+		case errors.Is(err, stream.ErrBehindFrontier):
 			status = http.StatusConflict
+		case errors.Is(err, stream.ErrFailStopped):
+			// The engine poisoned itself mid-batch (partial append); like
+			// the WAL fail-stop, only a restart recovers.
+			status = http.StatusInternalServerError
 		}
 		writeErr(w, status, err)
 		return
@@ -618,6 +640,12 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
+	if err := s.engine.Err(); err != nil {
+		// Same contract as ingest on a poisoned engine: 500, not an
+		// empty-success flush that silently foreclosed nothing.
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
 	if s.st != nil {
 		s.snapMu.Lock() // before ingestMu, per the documented lock order
 		defer s.snapMu.Unlock()
@@ -626,10 +654,15 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	ack := s.engine.FlushWithAck()
 	var seq int64
 	var snap serverSnapshot
+	var snapErr error
 	if s.st != nil {
-		seq, snap = s.captureSnapshotLocked()
+		seq, snap, snapErr = s.captureSnapshotLocked()
 	}
 	s.ingestMu.Unlock()
+	if snapErr != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist flush: %w", snapErr))
+		return
+	}
 	if s.st != nil {
 		// A flush forecloses windows beyond the watermark; checkpointing
 		// makes that frontier durable, so a post-crash replay cannot

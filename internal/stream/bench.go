@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flowmotif/internal/gen"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/temporal"
+)
+
+// BenchConfig parameterizes RunBench, the many-subscription streaming
+// ingest benchmark behind `experiments -bench-stream` (BENCH_stream.json)
+// and the CI speedup gate. Zero fields take the defaults noted inline.
+type BenchConfig struct {
+	// SubCounts are the subscription counts swept (default 1, 10, 100, 1000).
+	SubCounts []int
+	// Events is the stream length for counts up to 100; the 1000-sub rows
+	// use Events/5 to keep the per-subscription baseline bounded (default
+	// 30000).
+	Events int
+	// Nodes is the synthetic network's user count (default 200).
+	Nodes int
+	// Batch is the ingest batch size (default 2048).
+	Batch int
+	// Delta and Phi are the base subscription parameters (defaults 600, 2);
+	// φ varies per subscription so same-shape subscriptions are genuinely
+	// distinct (δ, φ) consumers.
+	Delta int64
+	Phi   float64
+	Seed  int64
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if len(c.SubCounts) == 0 {
+		c.SubCounts = []int{1, 10, 100, 1000}
+	}
+	if c.Events == 0 {
+		c.Events = 30000
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 200
+	}
+	if c.Batch == 0 {
+		c.Batch = 2048
+	}
+	if c.Delta == 0 {
+		c.Delta = 600
+	}
+	if c.Phi == 0 {
+		c.Phi = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 2019
+	}
+	return c
+}
+
+// BenchRow is one measured configuration: a subscription count under a
+// shape mix ("shared": every subscription watches one motif shape;
+// "distinct": subscriptions cycle through the ten-shape catalog) and a
+// planner ("shared": the plan-group evaluator; "per-sub": the pre-refactor
+// per-subscription rebuild, Config.DisableSharedPlanner).
+type BenchRow struct {
+	Subs           int     `json:"subs"`
+	Shapes         string  `json:"shapes"`
+	Planner        string  `json:"planner"`
+	Events         int     `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Detections     int64   `json:"detections"`
+	SnapshotBuilds int64   `json:"snapshot_builds"`
+	SnapshotReuse  float64 `json:"snapshot_reuse"`
+	MatchesShared  int64   `json:"matches_shared"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+}
+
+// BenchReport is the JSON shape of BENCH_stream.json.
+type BenchReport struct {
+	GeneratedAt string      `json:"generated_at"`
+	Config      BenchConfig `json:"config"`
+	Rows        []BenchRow  `json:"rows"`
+	// SharedSpeedup maps "<subs>" to the shared-planner / per-sub-baseline
+	// throughput ratio for shared-shape subscriptions — the refactor's
+	// headline number (the acceptance gate reads the "100" entry).
+	SharedSpeedup map[string]float64 `json:"shared_speedup"`
+}
+
+// BenchSubs builds n distinct benchmark subscriptions: all on one shape
+// (shared — the triangle M(3,3)) or cycling through the ten-shape catalog
+// (distinct), with φ varied so same-shape subscriptions remain distinct
+// (δ, φ) consumers. Exported so the root go-bench
+// (BenchmarkStreamIngestManySubs) measures exactly the mix RunBench
+// reports in BENCH_stream.json.
+func BenchSubs(n int, shared bool, delta int64, phi float64) []Subscription {
+	catalog := motif.Catalog()
+	subs := make([]Subscription, n)
+	for i := range subs {
+		mo := catalog[1] // the triangle M(3,3)
+		if !shared {
+			mo = catalog[i%len(catalog)]
+		}
+		subs[i] = Subscription{
+			ID:    fmt.Sprintf("s%d", i),
+			Motif: mo,
+			Delta: delta,
+			Phi:   phi + float64(i%4),
+		}
+	}
+	return subs
+}
+
+// RunBench measures many-subscription streaming ingest throughput across
+// subscription counts, shape mixes, and both evaluation planners, on a
+// synthetic bitcoin-like stream. The per-sub baseline is skipped above 100
+// subscriptions (it is linear in the subscription count and would dominate
+// the run without adding information beyond the 100-sub ratio).
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	evs, err := gen.Bitcoin(gen.BitcoinConfig{
+		Nodes:    cfg.Nodes,
+		SeedTxns: cfg.Events / 6,
+		Duration: 30000,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	if len(evs) > cfg.Events {
+		evs = evs[:cfg.Events]
+	}
+	rep := &BenchReport{
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Config:        cfg,
+		SharedSpeedup: map[string]float64{},
+	}
+	type key struct {
+		subs    int
+		shapes  string
+		planner string
+	}
+	perf := map[key]float64{}
+	for _, n := range cfg.SubCounts {
+		events := evs
+		if n > 100 && len(events) > cfg.Events/5 {
+			events = events[:cfg.Events/5]
+		}
+		for _, shapes := range []string{"shared", "distinct"} {
+			for _, planner := range []string{"shared", "per-sub"} {
+				if planner == "per-sub" && n > 100 {
+					continue
+				}
+				row, err := runBenchRow(n, shapes, planner, events, cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep.Rows = append(rep.Rows, row)
+				perf[key{n, shapes, planner}] = row.EventsPerSec
+			}
+		}
+	}
+	for _, n := range cfg.SubCounts {
+		base := perf[key{n, "shared", "per-sub"}]
+		now := perf[key{n, "shared", "shared"}]
+		if base > 0 && now > 0 {
+			rep.SharedSpeedup[fmt.Sprint(n)] = now / base
+		}
+	}
+	return rep, nil
+}
+
+func runBenchRow(n int, shapes, planner string, evs []temporal.Event, cfg BenchConfig) (BenchRow, error) {
+	eng, err := NewEngine(Config{
+		Subs:                 BenchSubs(n, shapes == "shared", cfg.Delta, cfg.Phi),
+		DisableSharedPlanner: planner == "per-sub",
+	}, nil)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(evs); lo += cfg.Batch {
+		hi := lo + cfg.Batch
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		if _, err := eng.Ingest(evs[lo:hi]); err != nil {
+			return BenchRow{}, err
+		}
+	}
+	eng.Flush()
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	return BenchRow{
+		Subs:           n,
+		Shapes:         shapes,
+		Planner:        planner,
+		Events:         len(evs),
+		EventsPerSec:   float64(len(evs)) / elapsed.Seconds(),
+		Detections:     st.Detections,
+		SnapshotBuilds: st.SnapshotBuilds,
+		SnapshotReuse:  st.SnapshotReuse,
+		MatchesShared:  st.MatchesShared,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+	}, nil
+}

@@ -41,6 +41,12 @@ func (e *Engine) AddSubscription(sub Subscription, opts AddOptions) error {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
+	if err := e.failedLocked(); err != nil {
+		// A fail-stopped engine must not finalize bands over its diverged
+		// log on behalf of the newcomer (see ErrFailStopped).
+		e.mu.Unlock()
+		return fmt.Errorf("stream: add subscription: %w", err)
+	}
 
 	s, err := e.newSubState(sub)
 	if err != nil {
@@ -76,13 +82,13 @@ func (e *Engine) AddSubscription(sub Subscription, opts AddOptions) error {
 			s.primed = true
 		}
 	}
-	e.subs = append(e.subs, s)
-	if s.sub.Delta > e.maxDelta {
-		e.maxDelta = s.sub.Delta
-	}
-	if w, ok := e.log.Watermark(); ok {
-		e.finalizeSub(s, w, false)
-	}
+	e.enterGroupLocked(s)
+	// Finalize any bands the handoff left closed-but-unenumerated. Every
+	// other subscription's emitted bound already sits at the current
+	// watermark's closed-band frontier, so a full planner round no-ops for
+	// them and evaluates exactly the new subscription — sharing its
+	// shape-mates' plan group from the next ingest onward.
+	e.finalize(false)
 	e.evict()
 	e.emitPending() // unlocks mu
 	return nil
@@ -118,6 +124,11 @@ func (e *Engine) RemoveSubscription(id string) (RemovedSub, error) {
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.failedLocked(); err != nil {
+		// The handoff would export events from the diverged log as the
+		// receiver's catch-up, re-infecting a healthy engine.
+		return RemovedSub{}, fmt.Errorf("stream: remove subscription: %w", err)
+	}
 	idx := -1
 	for i, s := range e.subs {
 		if s.sub.ID == id {
@@ -141,6 +152,7 @@ func (e *Engine) RemoveSubscription(id string) (RemovedSub, error) {
 		out.Events = append([]temporal.Event(nil), e.log.Range(need, math.MaxInt64)...)
 	}
 	e.subs = append(e.subs[:idx], e.subs[idx+1:]...)
+	e.leaveGroupLocked(s)
 	e.maxDelta = 0
 	for _, rest := range e.subs {
 		if rest.sub.Delta > e.maxDelta {

@@ -1,0 +1,295 @@
+package stream
+
+// The shared-evaluation planner (DESIGN.md §11). The engine's finalize
+// path used to evaluate each subscription in isolation: one band graph
+// built and one phase-P1 match walk run per subscription per round, O(subs
+// × window) even when thousands of subscriptions watch the same motif
+// shape. The planner replaces that with three levels of sharing:
+//
+//   - one snapshot per finalize round: a single arena-backed CSR graph
+//     over the union extent of every due anchor band (all groups read the
+//     same arena; each enumeration is narrowed to its own band by the
+//     anchor-range restriction, which is exact as long as the graph covers
+//     [band lo − δ, band hi + δ] — see core.EnumerateRange);
+//   - one phase-P1 run per motif shape: structural matches depend only on
+//     the shape, so the match list is collected once (fused-pruned at the
+//     shape's largest due δ, a superset for every smaller δ) and fanned
+//     out to every consumer through core.EnumerateMatchesRange;
+//   - plan groups keyed by (shape, δ): members share identical band
+//     bounds, so group bookkeeping is one hi computation per group.
+//
+// Per-subscription (δ, φ) semantics are untouched — phase P2 runs once per
+// subscription with its own parameters — so the batch-equivalence oracle
+// holds verbatim for subscriptions sharing a shape under different (δ, φ).
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"flowmotif/internal/core"
+	"flowmotif/internal/match"
+	"flowmotif/internal/temporal"
+)
+
+// planKey identifies a plan group: subscriptions sharing a motif shape and
+// a δ close identical anchor bands and are evaluated together.
+type planKey struct {
+	shape string // motif.ShapeKey()
+	delta int64
+}
+
+// planGroup is the set of live subscriptions under one plan key, in
+// subscription-add order (finalization order is deterministic with
+// Workers <= 1).
+type planGroup struct {
+	key  planKey
+	subs []*subState
+}
+
+// enterGroupLocked registers s with the engine: the flat subscription
+// list, the δ retention bound, and its (shape, δ) plan group, created on
+// first use. The caller holds mu (or the engine is under construction).
+func (e *Engine) enterGroupLocked(s *subState) {
+	e.subs = append(e.subs, s)
+	if s.sub.Delta > e.maxDelta {
+		e.maxDelta = s.sub.Delta
+	}
+	k := planKey{shape: s.sub.Motif.ShapeKey(), delta: s.sub.Delta}
+	g := e.groupIdx[k]
+	if g == nil {
+		g = &planGroup{key: k}
+		e.groupIdx[k] = g
+		e.groups = append(e.groups, g)
+	}
+	g.subs = append(g.subs, s)
+}
+
+// leaveGroupLocked removes s from its plan group, dropping the group when
+// it empties. The caller holds mu and removes s from e.subs itself.
+func (e *Engine) leaveGroupLocked(s *subState) {
+	k := planKey{shape: s.sub.Motif.ShapeKey(), delta: s.sub.Delta}
+	g := e.groupIdx[k]
+	if g == nil {
+		return
+	}
+	for i, have := range g.subs {
+		if have == s {
+			g.subs = append(g.subs[:i], g.subs[i+1:]...)
+			break
+		}
+	}
+	if len(g.subs) == 0 {
+		delete(e.groupIdx, k)
+		for i, have := range e.groups {
+			if have == g {
+				e.groups = append(e.groups[:i], e.groups[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// dueBand is one plan group's work for a finalize round: the members whose
+// emitted bound trails the newly closed anchor bound hi, and the graph
+// extent their bands need ([lo−δ, hi+δ], see core.EnumerateRange).
+type dueBand struct {
+	group    *planGroup
+	subs     []*subState
+	hi       int64
+	gLo, gHi int64 // band graph extent
+}
+
+// finalize enumerates, for every subscription, the anchor band of newly
+// closed windows (emitted, hi] and emits its maximal instances. A window
+// anchored at ts is closed once it can gain no further event: future
+// events have T >= watermark, so ts+δ <= watermark-1 suffices — or any ts
+// when the stream has terminally ended (flush). The caller holds mu.
+func (e *Engine) finalize(terminal bool) {
+	w, ok := e.log.Watermark()
+	if !ok {
+		return
+	}
+
+	// Collect the round's due bands and the union snapshot extent.
+	var due []dueBand
+	snapLo, snapHi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, g := range e.groups {
+		hi := w
+		if !terminal {
+			hi = satSub(w, 1+g.key.delta)
+		}
+		var members []*subState
+		lo := int64(math.MaxInt64)
+		for _, s := range g.subs {
+			if !s.primed || hi <= s.emitted {
+				continue
+			}
+			members = append(members, s)
+			if l := satAdd(s.emitted, 1); l < lo {
+				lo = l
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		gLo, gHi := satSub(lo, g.key.delta), satAdd(hi, g.key.delta)
+		due = append(due, dueBand{group: g, subs: members, hi: hi, gLo: gLo, gHi: gHi})
+		if gLo < snapLo {
+			snapLo = gLo
+		}
+		if gHi > snapHi {
+			snapHi = gHi
+		}
+	}
+	if len(due) == 0 {
+		return
+	}
+	if e.perSub {
+		// Ablation / comparison baseline: the pre-planner per-subscription
+		// path (one graph and one match walk per subscription).
+		for _, db := range due {
+			for _, s := range db.subs {
+				e.finalizeSubStandalone(s, w, db.hi)
+			}
+		}
+		return
+	}
+
+	// One snapshot per round over the union extent of every due band;
+	// every group reads the same arena-backed graph through its own anchor
+	// range, and the arena recycles the previous round's buffers.
+	snap, err := e.log.BuildGraphArena(&e.arena, snapLo, snapHi)
+	if err != nil {
+		// Unreachable: the log only holds validated events.
+		panic(fmt.Sprintf("stream: round snapshot: %v", err))
+	}
+	e.snapshotBuilds++
+
+	// Bucket the due groups by shape (first-seen order, so finalization
+	// order is deterministic) and run phase P1 once per shape.
+	type shapePlan struct {
+		maxDelta int64
+		bands    []int // indices into due
+		nsubs    int
+		lo, hi   int64 // union graph extent of the shape's bands
+	}
+	var order []string
+	plans := map[string]*shapePlan{}
+	for i := range due {
+		k := due[i].group.key
+		sp := plans[k.shape]
+		if sp == nil {
+			sp = &shapePlan{lo: due[i].gLo, hi: due[i].gHi}
+			plans[k.shape] = sp
+			order = append(order, k.shape)
+		}
+		sp.bands = append(sp.bands, i)
+		sp.nsubs += len(due[i].subs)
+		if k.delta > sp.maxDelta {
+			sp.maxDelta = k.delta
+		}
+		if due[i].gLo < sp.lo {
+			sp.lo = due[i].gLo
+		}
+		if due[i].gHi > sp.hi {
+			sp.hi = due[i].gHi
+		}
+	}
+	for _, shape := range order {
+		sp := plans[shape]
+		// A shape whose own extent is a sliver of the union snapshot (a
+		// small-δ shape sharing the round with a much larger δ) would pay
+		// the big window's phase-P1 cost for nothing: give it a private
+		// band graph instead. The cutoff is measured in retained events
+		// (two binary searches), and both paths are exact — the
+		// equivalence oracle runs them all — so this is purely a cost
+		// policy.
+		g := snap
+		if 4*len(e.log.Range(sp.lo, sp.hi)) < snap.NumEvents() {
+			sg, err := e.log.BuildGraph(sp.lo, sp.hi)
+			if err != nil {
+				// Unreachable: the log only holds validated events.
+				panic(fmt.Sprintf("stream: shape snapshot: %v", err))
+			}
+			e.snapshotBuilds++
+			g = sg
+		}
+		if sp.nsubs == 1 {
+			// Single consumer: stream fused matches straight into phase P2
+			// without materializing them (the pre-planner fast path).
+			db := due[sp.bands[0]]
+			e.matchRuns++
+			e.enumerateBand(g, db.subs[0], nil, db.hi, w, false)
+			continue
+		}
+		mo := due[sp.bands[0]].subs[0].sub.Motif
+		matches, err := core.CollectMatches(g, mo, sp.maxDelta)
+		if err != nil {
+			// Unreachable: δ was validated when the subscription was added.
+			panic(fmt.Sprintf("stream: collect matches: %v", err))
+		}
+		e.matchRuns++
+		e.matchesShared += int64(len(matches)) * int64(sp.nsubs-1)
+		for _, bi := range sp.bands {
+			db := due[bi]
+			for _, s := range db.subs {
+				e.enumerateBand(g, s, matches, db.hi, w, true)
+			}
+		}
+	}
+}
+
+// enumerateBand advances one subscription's emitted bound to hi,
+// enumerating its newly closed anchor band (emitted, hi] over g and
+// collecting detections into e.pending. With shared set the band replays
+// the shape's collected match list (planner fan-out); otherwise it streams
+// the fused phase-P1 walk itself. The caller holds mu.
+func (e *Engine) enumerateBand(g *temporal.Graph, s *subState, matches []match.Match, hi, w int64, shared bool) {
+	lo := satAdd(s.emitted, 1)
+	p := core.Params{Delta: s.sub.Delta, Phi: s.sub.Phi, Workers: e.workers}
+	// With Workers > 1 the visitor runs concurrently; bandMu guards the
+	// pending list and counters (mu is held but not by the workers).
+	var bandMu sync.Mutex
+	visit := func(in *core.Instance) bool {
+		d := e.detection(g, s, in, w)
+		bandMu.Lock()
+		s.detections++
+		e.detections++
+		e.pending = append(e.pending, d)
+		bandMu.Unlock()
+		return true
+	}
+	var err error
+	if shared {
+		_, err = core.EnumerateMatchesRange(g, s.sub.Motif, matches, p, lo, hi, visit)
+	} else {
+		_, err = core.EnumerateRange(g, s.sub.Motif, p, lo, hi, visit)
+	}
+	if err != nil {
+		// Unreachable: params were validated when the subscription was added.
+		panic(fmt.Sprintf("stream: enumerate: %v", err))
+	}
+	s.bands++
+	e.bandsTotal++
+	s.emitted = hi
+}
+
+// finalizeSubStandalone evaluates one subscription's band the pre-planner
+// way: a fresh graph over exactly its band extent and its own fused
+// phase-P1 walk. Kept behind Config.DisableSharedPlanner so benchmarks can
+// measure the planner against the per-subscription rebuild and the oracle
+// can cross-check both paths. The caller holds mu.
+func (e *Engine) finalizeSubStandalone(s *subState, w, hi int64) {
+	lo := satAdd(s.emitted, 1)
+	// The band sub-graph needs the windows' events [lo, hi+δ] plus the
+	// preceding δ for the maximality skip rule (core.EnumerateRange).
+	g, err := e.log.BuildGraph(satSub(lo, s.sub.Delta), satAdd(hi, s.sub.Delta))
+	if err != nil {
+		// Unreachable: the log only holds validated events.
+		panic(fmt.Sprintf("stream: band graph: %v", err))
+	}
+	e.snapshotBuilds++
+	e.matchRuns++
+	e.enumerateBand(g, s, nil, hi, w, false)
+}

@@ -40,12 +40,18 @@ type EngineSnapshot struct {
 
 // Snapshot captures the engine state. It serializes against in-flight
 // Ingest/Flush calls (including their sink emission), so the snapshot never
-// reflects a finalized band whose detections have not reached the sink.
-func (e *Engine) Snapshot() *EngineSnapshot {
+// reflects a finalized band whose detections have not reached the sink. A
+// fail-stopped engine refuses to snapshot: its log holds the partial batch
+// of the failed append, and persisting that as the authoritative recovery
+// state would launder the divergence into a healthy-looking restart.
+func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.failedLocked(); err != nil {
+		return nil, fmt.Errorf("stream: snapshot: %w", err)
+	}
 	snap := &EngineSnapshot{
 		Version:    SnapshotVersion,
 		MinNextT:   e.minNextT,
@@ -65,7 +71,7 @@ func (e *Engine) Snapshot() *EngineSnapshot {
 			Bands:      s.bands,
 		})
 	}
-	return snap
+	return snap, nil
 }
 
 // Restore loads a snapshot into the engine. The engine must be fresh (no

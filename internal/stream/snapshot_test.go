@@ -68,7 +68,10 @@ func TestSnapshotRestoreEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		snap := e1.Snapshot()
+		snap, err := e1.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
 
 		e2, err := NewEngine(Config{Subs: snapshotSubs()}, collectSink(t, "post", got))
 		if err != nil {
@@ -111,7 +114,10 @@ func TestSnapshotRestoreValidation(t *testing.T) {
 	if _, err := e1.Ingest(evs[:500]); err != nil {
 		t.Fatal(err)
 	}
-	snap := e1.Snapshot()
+	snap, err := e1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Restore into a non-fresh engine must fail.
 	if err := e1.Restore(snap); err == nil {

@@ -57,6 +57,12 @@ type Config struct {
 	// (max δ behind the finalization frontier), e.g. for debugging sinks
 	// that want to look events up after the fact.
 	Slack int64
+	// DisableSharedPlanner reverts to the pre-planner per-subscription
+	// evaluation (one band graph and one match walk per subscription per
+	// finalize round) instead of the shared-evaluation planner of DESIGN.md
+	// §11. Results are identical either way; the switch exists as the
+	// benchmark baseline and for ablation.
+	DisableSharedPlanner bool
 }
 
 // Detection is one finalized maximal motif instance, self-contained (it
@@ -87,10 +93,19 @@ type Sink interface {
 // a Flush); test with errors.Is.
 var ErrBehindFrontier = errors.New("stream: batch behind the stream frontier")
 
+// ErrFailStopped is wrapped by Ingest errors after the engine fail-stopped:
+// a batch append failed partway through, so the retention log holds a
+// prefix of a batch that was never finalized and further ingestion could
+// only widen the divergence. Like the cluster WAL-poison path, the engine
+// rejects all later ingests and flushes; recovery is a restart from the
+// durable log/snapshot (or a fresh engine). Test with errors.Is.
+var ErrFailStopped = errors.New("stream: engine fail-stopped after a partial batch append")
+
 // SubStats reports per-subscription progress.
 type SubStats struct {
 	ID             string  `json:"id"`
 	Motif          string  `json:"motif"`
+	Shape          string  `json:"shape"` // canonical shape key (plan-group member)
 	Delta          int64   `json:"delta"`
 	Phi            float64 `json:"phi"`
 	Detections     int64   `json:"detections"`
@@ -100,13 +115,24 @@ type SubStats struct {
 
 // Stats reports engine progress.
 type Stats struct {
-	EventsIngested int64      `json:"eventsIngested"`
-	EventsRetained int        `json:"eventsRetained"`
-	EventsEvicted  int64      `json:"eventsEvicted"`
-	Batches        int64      `json:"batches"`
-	Watermark      int64      `json:"watermark"`
-	Started        bool       `json:"started"` // at least one event ingested
-	Detections     int64      `json:"detections"`
+	EventsIngested int64 `json:"eventsIngested"`
+	EventsRetained int   `json:"eventsRetained"`
+	EventsEvicted  int64 `json:"eventsEvicted"`
+	Batches        int64 `json:"batches"`
+	Watermark      int64 `json:"watermark"`
+	Started        bool  `json:"started"` // at least one event ingested
+	Detections     int64 `json:"detections"`
+	// Shared-evaluation planner gauges (DESIGN.md §11). SnapshotReuse is
+	// anchor bands enumerated per snapshot built — 1.0 means no sharing
+	// (the pre-planner cost), N means one snapshot served N subscription
+	// bands. MatchesShared counts structural matches served from a shared
+	// per-shape list beyond their first consumer — work the pre-planner
+	// engine would have recomputed.
+	PlanGroups     int        `json:"planGroups"`
+	SnapshotBuilds int64      `json:"snapshotBuilds"`
+	SnapshotReuse  float64    `json:"snapshotReuse"`
+	MatchRuns      int64      `json:"matchRuns"`
+	MatchesShared  int64      `json:"matchesShared"`
 	Subs           []SubStats `json:"subs"`
 }
 
@@ -127,13 +153,31 @@ type Engine struct {
 	slack   int64
 	subs    []*subState
 
+	// Shared-evaluation planner state (planner.go): subscriptions grouped
+	// by (shape, δ), the arena recycling snapshot buffers across finalize
+	// rounds, and the sharing counters surfaced through Stats. perSub
+	// reverts to the pre-planner per-subscription path (ablation).
+	groups         []*planGroup
+	groupIdx       map[planKey]*planGroup
+	arena          temporal.GraphArena
+	perSub         bool
+	snapshotBuilds int64
+	matchRuns      int64
+	matchesShared  int64
+	bandsTotal     int64
+
 	minNextT   int64 // smallest admissible next timestamp
 	maxDelta   int64 // largest subscription δ
 	batches    int64
 	detections int64
+	failErr    error // fail-stop poison: set after a partial batch append
 
 	scratch []temporal.Event // reused per-batch sort buffer
 	pending []*Detection     // finalized this call, emitted after mu release
+
+	// appendHook, when set (tests only), runs before the i-th event of a
+	// batch is appended; an error simulates a mid-batch append failure.
+	appendHook func(i int) error
 
 	// ingestMu serializes whole Ingest/Flush calls including sink
 	// emission, and is always acquired BEFORE mu (never the reverse).
@@ -155,6 +199,8 @@ func NewEngine(cfg Config, sink Sink) (*Engine, error) {
 		sink:     sink,
 		workers:  cfg.Workers,
 		slack:    cfg.Slack,
+		perSub:   cfg.DisableSharedPlanner,
+		groupIdx: map[planKey]*planGroup{},
 		minNextT: math.MinInt64,
 	}
 	for i, s := range cfg.Subs {
@@ -162,10 +208,7 @@ func NewEngine(cfg Config, sink Sink) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stream: subscription %d: %w", i, err)
 		}
-		e.subs = append(e.subs, st)
-		if st.sub.Delta > e.maxDelta {
-			e.maxDelta = st.sub.Delta
-		}
+		e.enterGroupLocked(st)
 	}
 	return e, nil
 }
@@ -220,6 +263,10 @@ func (e *Engine) Ingest(events []temporal.Event) (int, error) {
 func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 	if len(events) == 0 {
 		e.mu.Lock()
+		if err := e.failedLocked(); err != nil {
+			e.mu.Unlock()
+			return Ack{}, err
+		}
 		w, ok := e.log.Watermark()
 		e.mu.Unlock()
 		return Ack{Watermark: w, Started: ok}, nil
@@ -227,10 +274,21 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
+	if err := e.failedLocked(); err != nil {
+		e.mu.Unlock()
+		return Ack{}, err
+	}
 
-	e.scratch = append(e.scratch[:0], events...)
-	batch := e.scratch
-	sort.SliceStable(batch, func(i, j int) bool { return batch[i].T < batch[j].T })
+	// The common monotone-producer case sends batches already in time
+	// order; read them in place instead of copying and re-sorting (the
+	// batch is only read — the log copies events on append). Unordered
+	// batches take the sort path through the reusable scratch buffer.
+	batch := events
+	if !sort.SliceIsSorted(events, func(i, j int) bool { return events[i].T < events[j].T }) {
+		e.scratch = append(e.scratch[:0], events...)
+		batch = e.scratch
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].T < batch[j].T })
+	}
 	if batch[0].T < e.minNextT {
 		err := fmt.Errorf("%w: batch reaches back to t=%d, frontier is %d", ErrBehindFrontier, batch[0].T, e.minNextT)
 		e.mu.Unlock()
@@ -248,10 +306,16 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 		}
 	}
 	for i := range batch {
-		if err := e.log.Append(batch[i]); err != nil {
-			// Unreachable: the batch was validated above.
+		if err := e.appendEvent(batch[i], i); err != nil {
+			// The batch was validated above, so this is unreachable in
+			// practice — but if it ever fires the log now holds an
+			// unfinalized batch prefix. Fail-stop (poison) the engine so no
+			// later call can build on the diverged state; the durable
+			// recovery path (snapshot + WAL replay into a fresh engine) is
+			// the way back.
+			e.failErr = fmt.Errorf("append event %d of %d: %w", i, len(batch), err)
 			e.mu.Unlock()
-			return Ack{Ingested: i}, fmt.Errorf("stream: append: %w", err)
+			return Ack{Ingested: i}, fmt.Errorf("%w: %v", ErrFailStopped, e.failErr)
 		}
 	}
 	first := batch[0].T
@@ -286,13 +350,17 @@ func (e *Engine) Flush() {
 }
 
 // FlushWithAck is Flush returning the acknowledgement: the watermark the
-// stream ended at and how many detections the flush finalized.
+// stream ended at and how many detections the flush finalized. On a
+// fail-stopped engine the flush is an inert zero ack (the signature has no
+// error); callers that must distinguish poisoned from empty check Err.
 func (e *Engine) FlushWithAck() Ack {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
 	w, ok := e.log.Watermark()
-	if !ok {
+	if !ok || e.failErr != nil {
+		// A fail-stopped engine must not foreclose windows over its
+		// diverged log; the flush is a no-op (see ErrFailStopped).
 		e.mu.Unlock()
 		return Ack{}
 	}
@@ -322,56 +390,26 @@ func (e *Engine) emitPending() {
 	}
 }
 
-// finalize enumerates, for every subscription, the anchor band of newly
-// closed windows (A, hi] and emits its maximal instances. A window
-// anchored at ts is closed once it can gain no further event: future
-// events have T >= watermark, so ts+δ <= watermark-1 suffices — or any ts
-// when the stream has terminally ended (flush).
-func (e *Engine) finalize(terminal bool) {
-	w, _ := e.log.Watermark()
-	for _, s := range e.subs {
-		e.finalizeSub(s, w, terminal)
+// failedLocked returns the wrapped fail-stop error when the engine is
+// poisoned (nil otherwise). The caller holds mu. Every mutating entry
+// point — ingest, flush, subscription add/remove — checks it, so no call
+// can build on (or export) the diverged log.
+func (e *Engine) failedLocked() error {
+	if e.failErr == nil {
+		return nil
 	}
+	return fmt.Errorf("%w: %v", ErrFailStopped, e.failErr)
 }
 
-// finalizeSub advances one subscription's emitted bound to the newest
-// closed anchor at watermark w, collecting detections into e.pending. The
-// caller holds mu.
-func (e *Engine) finalizeSub(s *subState, w int64, terminal bool) {
-	hi := w
-	if !terminal {
-		hi = satSub(w, 1+s.sub.Delta)
+// appendEvent appends one batch event to the retention log, routed through
+// the test-only failure hook.
+func (e *Engine) appendEvent(ev temporal.Event, i int) error {
+	if e.appendHook != nil {
+		if err := e.appendHook(i); err != nil {
+			return err
+		}
 	}
-	if !s.primed || hi <= s.emitted {
-		return
-	}
-	lo := satAdd(s.emitted, 1)
-	// The band sub-graph needs the windows' events [lo, hi+δ] plus the
-	// preceding δ for the maximality skip rule (core.EnumerateRange).
-	g, err := e.log.BuildGraph(satSub(lo, s.sub.Delta), satAdd(hi, s.sub.Delta))
-	if err != nil {
-		// Unreachable: the log only holds validated events.
-		panic(fmt.Sprintf("stream: band graph: %v", err))
-	}
-	p := core.Params{Delta: s.sub.Delta, Phi: s.sub.Phi, Workers: e.workers}
-	// With Workers > 1 the visitor runs concurrently; bandMu guards the
-	// pending list and counters (mu is held but not by the workers).
-	var bandMu sync.Mutex
-	_, err = core.EnumerateRange(g, s.sub.Motif, p, lo, hi, func(in *core.Instance) bool {
-		d := e.detection(g, s, in, w)
-		bandMu.Lock()
-		s.detections++
-		e.detections++
-		e.pending = append(e.pending, d)
-		bandMu.Unlock()
-		return true
-	})
-	if err != nil {
-		// Unreachable: params were validated when the subscription was added.
-		panic(fmt.Sprintf("stream: enumerate: %v", err))
-	}
-	s.bands++
-	s.emitted = hi
+	return e.log.Append(ev)
 }
 
 // detection converts a band-graph instance into a self-contained Detection.
@@ -409,6 +447,16 @@ func (e *Engine) evict() {
 	e.log.EvictBefore(satSub(keep, e.slack))
 }
 
+// Err reports the engine's fail-stop poison: nil while healthy, an error
+// wrapping ErrFailStopped after a partial batch append. The serving and
+// cluster layers check it so error-less entry points (Flush) still
+// surface the broken engine instead of an empty success.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failedLocked()
+}
+
 // Watermark returns the largest ingested timestamp (ok false before the
 // first event).
 func (e *Engine) Watermark() (int64, bool) {
@@ -430,11 +478,19 @@ func (e *Engine) Stats() Stats {
 		Watermark:      w,
 		Started:        ok,
 		Detections:     e.detections,
+		PlanGroups:     len(e.groups),
+		SnapshotBuilds: e.snapshotBuilds,
+		MatchRuns:      e.matchRuns,
+		MatchesShared:  e.matchesShared,
+	}
+	if e.snapshotBuilds > 0 {
+		st.SnapshotReuse = float64(e.bandsTotal) / float64(e.snapshotBuilds)
 	}
 	for _, s := range e.subs {
 		st.Subs = append(st.Subs, SubStats{
 			ID:             s.sub.ID,
 			Motif:          s.sub.Motif.Name(),
+			Shape:          s.sub.Motif.ShapeKey(),
 			Delta:          s.sub.Delta,
 			Phi:            s.sub.Phi,
 			Detections:     s.detections,

@@ -1,0 +1,159 @@
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GraphArena builds time-series graphs with buffer reuse: every slice a
+// Graph needs (the sort scratch, both CSR adjacencies, the points arena and
+// its prefix sums) is kept between builds and regrown only when a build
+// outsizes the previous ones. The streaming engine's shared-evaluation
+// planner (internal/stream, DESIGN.md §11) builds one snapshot per finalize
+// round through an arena, so steady-state snapshot cost is a sort plus
+// arena fills — no per-round allocation once the arena has warmed up.
+//
+// The returned graph aliases the arena: it (and every graph previously
+// returned by the same arena, including derived views such as WithFlows)
+// is valid only until the arena's next Build. Callers that need an
+// independent graph use NewGraphWithNodes, which builds through a
+// throwaway arena.
+//
+// An arena is not safe for concurrent builds; the graphs it returns are
+// safe for concurrent readers between builds, like any Graph.
+type GraphArena struct {
+	sorted []Event
+	next   []int // in-CSR fill cursor scratch
+	g      *Graph
+}
+
+// Build constructs the time-series graph of events over the node universe
+// 0..numNodes-1, reusing the arena's buffers. Validation matches
+// NewGraphWithNodes; on error the arena is unchanged and the previously
+// returned graph stays valid.
+func (a *GraphArena) Build(numNodes int, events []Event) (*Graph, error) {
+	if numNodes < 0 {
+		return nil, errNegativeNode
+	}
+	for i := range events {
+		e := &events[i]
+		if e.From < 0 || e.To < 0 {
+			return nil, errNegativeNode
+		}
+		if int(e.From) >= numNodes || int(e.To) >= numNodes {
+			return nil, fmt.Errorf("temporal: event %d references node outside universe of %d nodes", i, numNodes)
+		}
+		if e.F <= 0 || math.IsNaN(e.F) || math.IsInf(e.F, 0) {
+			return nil, fmt.Errorf("temporal: event %d: %w (got %v)", i, errNonPositiveFlow, e.F)
+		}
+	}
+
+	a.sorted = append(a.sorted[:0], events...)
+	sorted := a.sorted
+	sort.Slice(sorted, func(i, j int) bool {
+		x, y := sorted[i], sorted[j]
+		if x.From != y.From {
+			return x.From < y.From
+		}
+		if x.To != y.To {
+			return x.To < y.To
+		}
+		if x.T != y.T {
+			return x.T < y.T
+		}
+		return x.F < y.F
+	})
+
+	if a.g == nil {
+		a.g = &Graph{}
+	}
+	g := a.g
+	g.numNodes = numNodes
+	g.minT, g.maxT = math.MaxInt64, math.MinInt64
+	g.totalFlow = 0
+	g.selfLoops = 0
+	g.outOff = zeroedInts(g.outOff, numNodes+1)
+	g.outTo = g.outTo[:0]
+	g.arcSrc = g.arcSrc[:0]
+	g.arcOff = g.arcOff[:0]
+	g.points = g.points[:0]
+	g.cum = append(g.cum[:0], 0)
+
+	for i := range sorted {
+		e := sorted[i]
+		if i == 0 || e.From != sorted[i-1].From || e.To != sorted[i-1].To {
+			g.arcOff = append(g.arcOff, len(g.points))
+			g.outTo = append(g.outTo, e.To)
+			g.arcSrc = append(g.arcSrc, e.From)
+			g.outOff[e.From+1]++ // provisional per-node arc count
+		}
+		g.points = append(g.points, Point{T: e.T, F: e.F})
+		g.cum = append(g.cum, g.cum[len(g.cum)-1]+e.F)
+		g.totalFlow += e.F
+		if e.T < g.minT {
+			g.minT = e.T
+		}
+		if e.T > g.maxT {
+			g.maxT = e.T
+		}
+		if e.From == e.To {
+			g.selfLoops++
+		}
+	}
+	g.arcOff = append(g.arcOff, len(g.points))
+	for u := 0; u < numNodes; u++ {
+		g.outOff[u+1] += g.outOff[u]
+	}
+	if len(sorted) == 0 {
+		g.minT, g.maxT = 0, 0
+	}
+
+	a.buildInCSR(g)
+	return g, nil
+}
+
+// buildInCSR fills the reverse adjacency from the forward one, reusing the
+// graph's in-CSR slices and the arena's cursor scratch.
+func (a *GraphArena) buildInCSR(g *Graph) {
+	numArcs := len(g.outTo)
+	g.inOff = zeroedInts(g.inOff, g.numNodes+1)
+	for arc := 0; arc < numArcs; arc++ {
+		g.inOff[g.outTo[arc]+1]++
+	}
+	for v := 0; v < g.numNodes; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inFrom = resizeSlice(g.inFrom, numArcs)
+	g.inArc = resizeSlice(g.inArc, numArcs)
+	a.next = resizeSlice(a.next, g.numNodes)
+	copy(a.next, g.inOff[:g.numNodes])
+	// Arcs are ordered by (src, dst); filling in this order keeps each
+	// node's in-list sorted by source.
+	for arc := 0; arc < numArcs; arc++ {
+		v := g.outTo[arc]
+		p := a.next[v]
+		a.next[v]++
+		g.inFrom[p] = g.arcSrc[arc]
+		g.inArc[p] = arc
+	}
+}
+
+// zeroedInts returns a zero-filled length-n slice, reusing capacity.
+func zeroedInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeSlice returns a length-n slice reusing capacity; contents are
+// unspecified (the caller overwrites every element).
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

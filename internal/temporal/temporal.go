@@ -110,113 +110,13 @@ func NewGraph(events []Event) (*Graph, error) {
 
 // NewGraphWithNodes builds a time-series graph over a fixed node universe
 // 0..numNodes-1. Events referring to nodes outside the universe are an
-// error, as are non-positive flows. The input slice is not modified.
+// error, as are non-positive flows. The input slice is not modified. The
+// graph is built through a throwaway GraphArena (arena.go), so it owns its
+// buffers and lives independently; repeated builders that can tolerate the
+// aliasing contract reuse an arena instead.
 func NewGraphWithNodes(numNodes int, events []Event) (*Graph, error) {
-	if numNodes < 0 {
-		return nil, errNegativeNode
-	}
-	for i := range events {
-		e := &events[i]
-		if e.From < 0 || e.To < 0 {
-			return nil, errNegativeNode
-		}
-		if int(e.From) >= numNodes || int(e.To) >= numNodes {
-			return nil, fmt.Errorf("temporal: event %d references node outside universe of %d nodes", i, numNodes)
-		}
-		if e.F <= 0 || math.IsNaN(e.F) || math.IsInf(e.F, 0) {
-			return nil, fmt.Errorf("temporal: event %d: %w (got %v)", i, errNonPositiveFlow, e.F)
-		}
-	}
-
-	sorted := make([]Event, len(events))
-	copy(sorted, events)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		if a.T != b.T {
-			return a.T < b.T
-		}
-		return a.F < b.F
-	})
-
-	g := &Graph{numNodes: numNodes, minT: math.MaxInt64, maxT: math.MinInt64}
-
-	// Count arcs.
-	numArcs := 0
-	for i := range sorted {
-		if i == 0 || sorted[i].From != sorted[i-1].From || sorted[i].To != sorted[i-1].To {
-			numArcs++
-		}
-	}
-
-	g.outOff = make([]int, numNodes+1)
-	g.outTo = make([]NodeID, 0, numArcs)
-	g.arcSrc = make([]NodeID, 0, numArcs)
-	g.arcOff = make([]int, 0, numArcs+1)
-	g.points = make([]Point, 0, len(sorted))
-	g.cum = make([]float64, 1, len(sorted)+1)
-	g.cum[0] = 0
-
-	for i := range sorted {
-		e := sorted[i]
-		if i == 0 || e.From != sorted[i-1].From || e.To != sorted[i-1].To {
-			g.arcOff = append(g.arcOff, len(g.points))
-			g.outTo = append(g.outTo, e.To)
-			g.arcSrc = append(g.arcSrc, e.From)
-			g.outOff[e.From+1]++ // provisional per-node arc count
-		}
-		g.points = append(g.points, Point{T: e.T, F: e.F})
-		g.cum = append(g.cum, g.cum[len(g.cum)-1]+e.F)
-		g.totalFlow += e.F
-		if e.T < g.minT {
-			g.minT = e.T
-		}
-		if e.T > g.maxT {
-			g.maxT = e.T
-		}
-		if e.From == e.To {
-			g.selfLoops++
-		}
-	}
-	g.arcOff = append(g.arcOff, len(g.points))
-	for u := 0; u < numNodes; u++ {
-		g.outOff[u+1] += g.outOff[u]
-	}
-	if len(sorted) == 0 {
-		g.minT, g.maxT = 0, 0
-	}
-
-	g.buildInCSR()
-	return g, nil
-}
-
-func (g *Graph) buildInCSR() {
-	numArcs := len(g.outTo)
-	g.inOff = make([]int, g.numNodes+1)
-	for a := 0; a < numArcs; a++ {
-		g.inOff[g.outTo[a]+1]++
-	}
-	for v := 0; v < g.numNodes; v++ {
-		g.inOff[v+1] += g.inOff[v]
-	}
-	g.inFrom = make([]NodeID, numArcs)
-	g.inArc = make([]int, numArcs)
-	next := make([]int, g.numNodes)
-	copy(next, g.inOff[:g.numNodes])
-	// Arcs are ordered by (src, dst); filling in this order keeps each
-	// node's in-list sorted by source.
-	for a := 0; a < numArcs; a++ {
-		v := g.outTo[a]
-		p := next[v]
-		next[v]++
-		g.inFrom[p] = g.arcSrc[a]
-		g.inArc[p] = a
-	}
+	var a GraphArena
+	return a.Build(numNodes, events)
 }
 
 // NumNodes returns |V|.

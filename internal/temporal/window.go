@@ -278,6 +278,23 @@ func NewWindowLogFromState(s WindowLogState) (*WindowLog, error) {
 // Append/EvictBefore calls do not affect it.
 func (l *WindowLog) BuildGraph(lo, hi int64) (*Graph, error) {
 	evs := l.Range(lo, hi)
+	return NewGraphWithNodes(rangeUniverse(evs), evs)
+}
+
+// BuildGraphArena is BuildGraph through a reusable GraphArena: the stream
+// engine's per-finalize-round snapshot path, where one graph per round is
+// rebuilt over the union extent of all due anchor bands and the previous
+// round's buffers are recycled. The returned graph is valid only until the
+// arena's next build (see GraphArena).
+func (l *WindowLog) BuildGraphArena(a *GraphArena, lo, hi int64) (*Graph, error) {
+	evs := l.Range(lo, hi)
+	return a.Build(rangeUniverse(evs), evs)
+}
+
+// rangeUniverse trims the node universe to the largest id appearing in the
+// event range, so per-snapshot cost tracks the window's active nodes
+// rather than every id the stream has ever seen (which only grows).
+func rangeUniverse(evs []Event) int {
 	n := 0
 	for i := range evs {
 		if v := int(evs[i].From) + 1; v > n {
@@ -287,5 +304,5 @@ func (l *WindowLog) BuildGraph(lo, hi int64) (*Graph, error) {
 			n = v
 		}
 	}
-	return NewGraphWithNodes(n, evs)
+	return n
 }
