@@ -51,11 +51,12 @@ func main() {
 		benchStream    = flag.Bool("bench-stream", false, "run the many-subscription streaming ingest benchmark (shared-evaluation planner vs per-subscription baseline)")
 		benchStreamOut = flag.String("bench-stream-out", "BENCH_stream.json", "output path for -bench-stream (JSON)")
 		benchStreamMin = flag.Float64("bench-stream-min-speedup", 0, "fail unless the shared planner beats the per-sub baseline by at least this factor at 100 shared-shape subscriptions (0: no gate)")
+		benchObsMax    = flag.Float64("bench-obs-max-overhead", 0, "fail when metric collection slows ingest by more than this fraction vs the same run with Config.DisableObs (0: no gate)")
 	)
 	flag.Parse()
 
 	if *benchStream {
-		runStreamBench(*benchStreamOut, *seed, *benchStreamMin)
+		runStreamBench(*benchStreamOut, *seed, *benchStreamMin, *benchObsMax)
 		return
 	}
 	if *benchClust {
@@ -167,7 +168,7 @@ func run(name string, f func()) {
 // baseline), writes BENCH_stream.json, and optionally gates on the 100-sub
 // shared-shape speedup. The speedup is a same-run ratio, so the gate is
 // stable across machines (unlike absolute events/sec).
-func runStreamBench(out string, seed int64, minSpeedup float64) {
+func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead float64) {
 	fmt.Println("stream bench: subscription sweep, shared vs distinct shapes, planner vs per-sub baseline...")
 	t0 := time.Now()
 	rep, err := stream.RunBench(stream.BenchConfig{Seed: seed})
@@ -202,6 +203,15 @@ func runStreamBench(out string, seed int64, minSpeedup float64) {
 		}
 		fmt.Printf("bench gate ok: %.1fx >= %.1fx at 100 shared-shape subs\n", s, minSpeedup)
 	}
+	fmt.Printf("obs overhead: %.2f%% (metric collection vs DisableObs, best of %d interleaved runs)\n",
+		rep.ObsOverhead*100, rep.ObsOverheadRuns)
+	if maxObsOverhead > 0 {
+		if rep.ObsOverhead > maxObsOverhead {
+			fatal(fmt.Sprintf("obs gate: metric collection costs %.2f%% of ingest throughput, want <= %.2f%%",
+				rep.ObsOverhead*100, maxObsOverhead*100))
+		}
+		fmt.Printf("obs gate ok: %.2f%% <= %.2f%%\n", rep.ObsOverhead*100, maxObsOverhead*100)
+	}
 }
 
 // runClusterBench measures the cluster layer, writes the JSON report, and
@@ -231,6 +241,14 @@ func runClusterBench(shards, events int, seed int64, out, baseline string, maxRe
 	fmt.Printf("scatter-gather topk: avg %.0fµs p50 %.0fµs p99 %.0fµs\n",
 		rep.TopK.AvgUS, rep.TopK.P50US, rep.TopK.P99US)
 	fmt.Printf("scatter-gather instances: avg %.0fµs\n", rep.Instances.AvgUS)
+	if q := rep.Replication.Lag; q != nil {
+		fmt.Printf("replication lag (append→ack): p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			q.P50*1000, q.P95*1000, q.P99*1000)
+	}
+	if q := rep.DetectionLag; q != nil {
+		fmt.Printf("detection lag (ingest→emit, merged across shards): p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			q.P50*1000, q.P95*1000, q.P99*1000)
+	}
 	fmt.Printf("wrote %s in %v\n", out, time.Since(t0).Round(time.Millisecond))
 	if baseline != "" {
 		if err := compareClusterBench(baseline, rep, maxRegress); err != nil {

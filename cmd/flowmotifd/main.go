@@ -57,7 +57,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -73,6 +73,30 @@ import (
 	"flowmotif/internal/server"
 	"flowmotif/internal/stream"
 )
+
+// newLogger builds the daemon's structured logger from -log-level and
+// -log-format.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// fatal logs the error and exits (slog has no Fatal level).
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 // subFlags collects repeated -sub arguments.
 type subFlags []stream.Subscription
@@ -164,10 +188,20 @@ func main() {
 		queueCap = flag.Int("queue-depth", 0, "coordinator: per-member replication queue depth in batches before ingest backpressures (0: default 128)")
 		coalesce = flag.Int("coalesce-events", 0, "coordinator: max events folded into one member call when a replication backlog drains (0: default 2048)")
 		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for in-situ profiling of the ingest hot path; empty disables")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
+		slowRnd  = flag.Duration("slow-round", 0, "warn when one finalize round exceeds this duration, with a per-stage breakdown (0 disables)")
 	)
 	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
 	flag.Var(&joins, "join", `coordinator: member daemon "id=http://host:port" (repeatable)`)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flowmotifd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *pprofAdr != "" {
 		// Opt-in profiling endpoint on its own listener and mux, so the
@@ -179,10 +213,10 @@ func main() {
 			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-			log.Printf("pprof listening on %s (opt-in; keep this address private)", *pprofAdr)
+			logger.Info("pprof listening (opt-in; keep this address private)", "addr", *pprofAdr)
 			ps := &http.Server{Addr: *pprofAdr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 			if err := ps.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("pprof server: %v", err)
+				logger.Error("pprof server", "err", err)
 			}
 		}()
 	}
@@ -193,6 +227,7 @@ func main() {
 			workers: *workers, recent: *recent, topk: *topk,
 			dataDir: *dataDir, fsync: *fsync, histCap: *histCap,
 			queueDepth: *queueCap, coalesce: *coalesce,
+			logger: logger,
 		})
 		return
 	}
@@ -213,23 +248,25 @@ func main() {
 		SyncWrites:    *fsync,
 		SegmentEvents: *segEvs,
 		Member:        *member,
+		Logger:        logger,
+		SlowRound:     *slowRnd,
 	})
 	if err != nil {
-		log.Fatalf("flowmotifd: %v", err)
+		fatal(logger, "startup failed", "err", err)
 	}
 
 	for _, sub := range srv.Engine().Subscriptions() {
-		log.Printf("detector %s: %v δ=%d φ=%g", sub.ID, sub.Motif, sub.Delta, sub.Phi)
+		logger.Info("detector", "sub", sub.ID, "motif", fmt.Sprint(sub.Motif), "delta", sub.Delta, "phi", sub.Phi)
 	}
 	if *member {
-		log.Printf("cluster member mode: awaiting subscription placement")
+		logger.Info("cluster member mode: awaiting subscription placement")
 	}
 	if srv.Durable() {
 		rec := srv.Recovery()
-		log.Printf("durable: data dir %s (fsync=%v)", *dataDir, *fsync)
+		logger.Info("durable", "data_dir", *dataDir, "fsync", *fsync)
 		if rec.FromSnapshot || rec.Replayed > 0 {
-			log.Printf("recovered: snapshot seq %d (used=%v), %d WAL events replayed",
-				rec.SnapshotSeq, rec.FromSnapshot, rec.Replayed)
+			logger.Info("recovered", "snapshot_seq", rec.SnapshotSeq,
+				"snapshot_used", rec.FromSnapshot, "wal_events_replayed", rec.Replayed)
 		}
 	}
 
@@ -248,9 +285,9 @@ func main() {
 				select {
 				case <-tick.C:
 					if seq, err := srv.Snapshot(); err != nil {
-						log.Printf("snapshot failed: %v", err)
+						logger.Error("snapshot failed", "err", err)
 					} else {
-						log.Printf("snapshot at seq %d", seq)
+						logger.Info("snapshot", "seq", seq)
 					}
 				case <-stopSnaps:
 					return
@@ -262,29 +299,29 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 		close(done)
 	}()
 
-	log.Printf("flowmotifd listening on %s (%d detectors)", *addr, len(subs))
+	logger.Info("flowmotifd listening", "addr", *addr, "detectors", len(subs))
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("flowmotifd: %v", err)
+		fatal(logger, "serve failed", "err", err)
 	}
 	<-done
 	close(stopSnaps)
 	if srv.Durable() {
 		// Flush a final snapshot so the next start replays no WAL tail.
 		if err := srv.Close(); err != nil {
-			log.Printf("final snapshot/close: %v", err)
+			logger.Error("final snapshot/close", "err", err)
 		} else {
-			log.Printf("final snapshot flushed")
+			logger.Info("final snapshot flushed")
 		}
 	}
 	st := srv.Engine().Stats()
-	log.Printf("final: %d events ingested, %d detections", st.EventsIngested, st.Detections)
+	logger.Info("final", "events_ingested", st.EventsIngested, "detections", st.Detections)
 }
 
 // coordOptions carries the cluster-coordinator role's flag set.
@@ -301,6 +338,7 @@ type coordOptions struct {
 	histCap    int
 	queueDepth int
 	coalesce   int
+	logger     *slog.Logger
 }
 
 // runCoordinator starts the cluster-coordinator role: -shards in-process
@@ -308,12 +346,12 @@ type coordOptions struct {
 // serving the flowmotifd API, with pipelined (asynchronous) replication
 // to the members.
 func runCoordinator(o coordOptions) {
-	addr, subs, joins := o.addr, o.subs, o.joins
+	addr, subs, joins, logger := o.addr, o.subs, o.joins, o.logger
 	if len(subs) == 0 {
-		log.Fatalf("flowmotifd: coordinator needs at least one -sub")
+		fatal(logger, "coordinator needs at least one -sub")
 	}
 	if o.shards <= 0 && len(joins) == 0 {
-		log.Fatalf("flowmotifd: coordinator needs members: -shards N and/or -join id=url")
+		fatal(logger, "coordinator needs members: -shards N and/or -join id=url")
 	}
 	var members []cluster.Member
 	var locals []*cluster.LocalMember
@@ -324,7 +362,7 @@ func runCoordinator(o coordOptions) {
 		}
 		lm, err := cluster.NewLocalMember(fmt.Sprintf("shard-%d", i), opts)
 		if err != nil {
-			log.Fatalf("flowmotifd: shard %d: %v", i, err)
+			fatal(logger, "shard start failed", "shard", i, "err", err)
 		}
 		members = append(members, lm)
 		locals = append(locals, lm)
@@ -340,13 +378,13 @@ func runCoordinator(o coordOptions) {
 		CoalesceEvents: o.coalesce,
 	})
 	if err != nil {
-		log.Fatalf("flowmotifd: cluster: %v", err)
+		fatal(logger, "cluster start failed", "err", err)
 	}
 	for sub, owner := range c.Placement() {
-		log.Printf("placed %s on %s", sub, owner)
+		logger.Info("placed", "sub", sub, "member", owner)
 	}
 	if o.histCap <= 0 {
-		log.Printf("history: unbounded — the full broadcast stream is retained in memory for lossless failover; bound it with -history-limit N (failover then regenerates only the newest N events)")
+		logger.Warn("history unbounded: the full broadcast stream is retained in memory for lossless failover; bound it with -history-limit N (failover then regenerates only the newest N events)")
 	}
 
 	cs := server.NewCoordinator(c, 0)
@@ -360,30 +398,30 @@ func runCoordinator(o coordOptions) {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("coordinator shutting down")
+		logger.Info("coordinator shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 		close(done)
 	}()
-	log.Printf("flowmotifd coordinator listening on %s (%d members, %d subscriptions)",
-		addr, len(members), len(subs))
+	logger.Info("flowmotifd coordinator listening", "addr", addr,
+		"members", len(members), "subscriptions", len(subs))
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("flowmotifd: %v", err)
+		fatal(logger, "serve failed", "err", err)
 	}
 	<-done
 	// Push every acknowledged batch through to the members before the
 	// shard WALs close — an ingest ack means "durable in the log", so
 	// shutdown must not strand the log's tail.
 	if err := c.Drain(); err != nil {
-		log.Printf("drain on shutdown: %v", err)
+		logger.Error("drain on shutdown", "err", err)
 	}
 	c.Close()
 	for _, lm := range locals {
 		if err := lm.Close(); err != nil {
-			log.Printf("shard %s close: %v", lm.ID(), err)
+			logger.Error("shard close", "shard", lm.ID(), "err", err)
 		}
 	}
 	st := c.Stats()
-	log.Printf("final: %d events replicated, %d moves, %d downs", st.Events, st.Moves, st.Downs)
+	logger.Info("final", "events_replicated", st.Events, "moves", st.Moves, "downs", st.Downs)
 }

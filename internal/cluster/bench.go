@@ -7,6 +7,7 @@ import (
 
 	"flowmotif/internal/gen"
 	"flowmotif/internal/motif"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
 )
@@ -89,6 +90,33 @@ type BenchReport struct {
 		Limit int     `json:"limit"`
 		AvgUS float64 `json:"avg_us"`
 	} `json:"scatter_gather_instances"`
+	// Replication summarizes the pipeline's histograms over the whole run:
+	// append→ack lag per log entry, per-call deliver wall-clock, and how
+	// many events each member call coalesced. DetectionLag is the members'
+	// ingest-to-emit distribution, bucket-merged across shards. All
+	// quantiles in seconds except CoalesceEvents.
+	Replication struct {
+		Lag            *obs.Quantiles `json:"lag_seconds,omitempty"`
+		Deliver        *obs.Quantiles `json:"deliver_seconds,omitempty"`
+		CoalesceEvents *obs.Quantiles `json:"coalesce_events,omitempty"`
+	} `json:"replication"`
+	DetectionLag *obs.Quantiles `json:"detection_lag_seconds,omitempty"`
+}
+
+// histQuantiles merges every series named name in snaps and summarizes it
+// (nil when nothing was observed).
+func histQuantiles(snaps []obs.MetricSnapshot, name string) *obs.Quantiles {
+	var merged obs.HistogramSnapshot
+	for _, m := range snaps {
+		if m.Name == name && m.Hist != nil {
+			_ = merged.Merge(*m.Hist)
+		}
+	}
+	if merged.Count == 0 {
+		return nil
+	}
+	q := merged.Summary()
+	return &q
 }
 
 // benchStream builds the synthetic benchmark stream, time-ordered.
@@ -191,9 +219,16 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	rep.Ingest.EventsPerSec = float64(len(evs)) / acked.Seconds()
 	rep.Ingest.DrainSeconds = (drained - acked).Seconds()
 	rep.Ingest.SustainedEventsPerSec = float64(len(evs)) / drained.Seconds()
+	var memberSnaps []obs.MetricSnapshot
 	for _, m := range st.Members {
 		rep.Ingest.Detections += m.Detections
+		memberSnaps = append(memberSnaps, m.Metrics...)
 	}
+	coordSnaps := c.Obs().Snapshot()
+	rep.Replication.Lag = histQuantiles(coordSnaps, "flowmotif_replication_lag_seconds")
+	rep.Replication.Deliver = histQuantiles(coordSnaps, "flowmotif_replication_deliver_seconds")
+	rep.Replication.CoalesceEvents = histQuantiles(coordSnaps, "flowmotif_replication_coalesce_events")
+	rep.DetectionLag = histQuantiles(memberSnaps, "flowmotif_detection_lag_seconds")
 
 	const k = 10
 	lat := make([]float64, cfg.TopKIters)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"flowmotif/internal/obs"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	// for remote members); smaller values bound member call latency and
 	// per-call enumeration band size.
 	CoalesceEvents int
+	// Obs is the metrics registry the replication pipeline's histograms
+	// (append→ack lag, delivery time, coalesce sizes) register into; nil
+	// creates a private registry, readable via Coordinator.Obs.
+	Obs *obs.Registry
 }
 
 // memberState tracks one registered member and its replication pipeline
@@ -110,6 +115,14 @@ type Coordinator struct {
 	failedCount  int   // members flagged failed, not yet reaped
 	backpressure int64 // Ingest calls that blocked on a full queue
 	closed       bool
+
+	// Replication-pipeline instrumentation (histograms instead of the old
+	// point gauges): per-entry append→ack lag, per-delivery wall-clock,
+	// and events coalesced per delivery.
+	obsReg     *obs.Registry
+	mxReplLag  *obs.Histogram
+	mxDeliver  *obs.Histogram
+	mxCoalesce *obs.Histogram
 }
 
 // New builds a coordinator over the given members and places the
@@ -146,6 +159,17 @@ func New(cfg Config) (*Coordinator, error) {
 		replBase:   1,
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.obsReg = cfg.Obs
+	if c.obsReg == nil {
+		c.obsReg = obs.NewRegistry()
+	}
+	c.mxReplLag = c.obsReg.Histogram("flowmotif_replication_lag_seconds",
+		"Append→ack lag per replication-log entry: coordinator log append to the owning member's applied ack.",
+		obs.LatencyBuckets)
+	c.mxDeliver = c.obsReg.Histogram("flowmotif_replication_deliver_seconds",
+		"One replicator delivery call (member ingest including transport and retries).", obs.LatencyBuckets)
+	c.mxCoalesce = c.obsReg.Histogram("flowmotif_replication_coalesce_events",
+		"Events folded into one replicator delivery call.", obs.SizeBuckets)
 	for _, m := range cfg.Members {
 		if m.ID() == "" {
 			return nil, errors.New("cluster: member with empty id")
@@ -302,7 +326,7 @@ func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
 	if len(c.repl) == 0 {
 		c.replBase = seq
 	}
-	c.repl = append(c.repl, logEntry{seq: seq, events: batch})
+	c.repl = append(c.repl, logEntry{seq: seq, events: batch, appendedAt: time.Now()})
 	c.logEvents += len(batch)
 	c.watermark = last
 	c.started = true
@@ -889,6 +913,13 @@ func (c *Coordinator) Placement() map[string]string {
 	return out
 }
 
+// Obs returns the coordinator's metrics registry (the one from
+// Config.Obs, or the private one created in New) so the serving layer can
+// expose the replication histograms without owning their registration.
+func (c *Coordinator) Obs() *obs.Registry {
+	return c.obsReg
+}
+
 // Watermark returns the cluster watermark (the largest broadcast
 // timestamp; 0 before the first event).
 func (c *Coordinator) Watermark() int64 {
@@ -925,6 +956,10 @@ type MemberInfo struct {
 	ReplLagEntries int64 `json:"replLagEntries"`
 	ReplLagEvents  int64 `json:"replLagEvents"`
 	Failing        bool  `json:"failing,omitempty"`
+	// Metrics is the member's full metric snapshot, carried for the
+	// coordinator's merged Prometheus exposition. Excluded from the JSON
+	// stats payload: /metrics?format=prometheus is the serving surface.
+	Metrics []obs.MetricSnapshot `json:"-"`
 }
 
 // ClusterStats snapshots cluster progress and health.
@@ -1022,6 +1057,7 @@ func (c *Coordinator) Stats() ClusterStats {
 			info.SnapshotBuilds = s.SnapshotBuilds
 			info.SnapshotReuse = s.SnapshotReuse
 			info.MatchesShared = s.MatchesShared
+			info.Metrics = s.Metrics
 			if s.Started {
 				info.Lag = st.Watermark - s.Watermark
 			}

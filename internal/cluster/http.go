@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"flowmotif/internal/obs"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
 )
@@ -192,6 +193,9 @@ type statsResponse struct {
 			ID string `json:"id"`
 		} `json:"subs"`
 	} `json:"engine"`
+	// Metrics is the member server's full metric snapshot (the coordinator
+	// bucket-merges member histograms into its own exposition).
+	Metrics []obs.MetricSnapshot `json:"metrics"`
 }
 
 // Stats implements Member.
@@ -215,5 +219,6 @@ func (m *HTTPMember) Stats() (MemberStats, error) {
 	for _, s := range resp.Engine.Subs {
 		out.Subs = append(out.Subs, s.ID)
 	}
+	out.Metrics = resp.Metrics
 	return out, nil
 }

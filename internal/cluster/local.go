@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flowmotif/internal/obs"
 	"flowmotif/internal/store"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
@@ -76,14 +77,17 @@ func NewLocalMember(id string, opts LocalOptions) (*LocalMember, error) {
 		recent: stream.NewMemorySink(opts.Recent),
 		topk:   stream.NewTopKSink(opts.TopK),
 	}
-	eng, err := stream.NewEngine(stream.Config{Workers: opts.Workers},
+	// One registry per member: the engine's and store's instruments land
+	// together, and Stats ships the whole snapshot to the coordinator.
+	reg := obs.NewRegistry()
+	eng, err := stream.NewEngine(stream.Config{Workers: opts.Workers, Obs: reg},
 		stream.MultiSink{m.recent, m.topk})
 	if err != nil {
 		return nil, err
 	}
 	m.eng = eng
 	if opts.DataDir != "" {
-		st, err := store.Open(opts.DataDir, store.Options{Sync: opts.SyncWrites})
+		st, err := store.Open(opts.DataDir, store.Options{Sync: opts.SyncWrites, Obs: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -290,6 +294,7 @@ func (m *LocalMember) Stats() (MemberStats, error) {
 	for _, s := range st.Subs {
 		out.Subs = append(out.Subs, s.ID)
 	}
+	out.Metrics = m.eng.Obs().Snapshot()
 	return out, nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"flowmotif/internal/motif"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
 )
@@ -152,6 +153,10 @@ type MemberStats struct {
 	SnapshotBuilds int64    `json:"snapshotBuilds,omitempty"`
 	SnapshotReuse  float64  `json:"snapshotReuse,omitempty"`
 	MatchesShared  int64    `json:"matchesShared,omitempty"`
+	// Metrics is the member's full metric snapshot (engine stage and
+	// detection-lag histograms among them); the coordinator bucket-merges
+	// these across members for its own Prometheus exposition.
+	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
 }
 
 // Member is the coordinator's view of one shard engine. Implementations

@@ -28,6 +28,9 @@ import (
 type logEntry struct {
 	seq    int64 // 1-based, dense
 	events []temporal.Event
+	// appendedAt is the wall-clock of the log append, the baseline of the
+	// per-member append→ack replication-lag histogram.
+	appendedAt time.Time
 }
 
 // entryLocked returns the log entry with the given sequence number. The
@@ -96,7 +99,11 @@ func (c *Coordinator) replicate(ms *memberState) {
 		}
 		c.mu.Unlock()
 
+		c.mxCoalesce.Observe(float64(n))
+		sp := c.mxDeliver.Start()
 		ack, err := c.deliver(ms, Batch{Seq: seq, Events: evs})
+		sp.End()
+		now := time.Now()
 
 		c.mu.Lock()
 		if ms.stopped {
@@ -113,6 +120,11 @@ func (c *Coordinator) replicate(ms *memberState) {
 			// reap is idempotent, so racing with an Ingest-side reap is fine.
 			go c.reapAsync()
 			return
+		}
+		// The acked entries are still in the log: trimming needs every live
+		// member past them, and this member's own ack only lands below.
+		for s := first; s <= seq; s++ {
+			c.mxReplLag.Observe(now.Sub(c.entryLocked(s).appendedAt).Seconds())
 		}
 		ms.ackedSeq = seq
 		ms.ackedW = ack.Watermark

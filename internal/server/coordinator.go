@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"flowmotif/internal/cluster"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
 )
@@ -79,13 +80,9 @@ func (cs *Coordinator) Handler() http.Handler {
 func (cs *Coordinator) count(name string, h http.HandlerFunc) http.HandlerFunc {
 	m := &endpointMetrics{}
 	cs.eps[name] = m
-	return func(w http.ResponseWriter, r *http.Request) {
-		cs.reqs.Add(1)
-		start := time.Now()
-		h(w, r)
-		m.count.Add(1)
-		m.totalMicros.Add(time.Since(start).Microseconds())
-	}
+	// Request histograms land in the cluster coordinator's registry, next
+	// to the replication-pipeline instruments.
+	return countRequests(cs.c.Obs(), &cs.reqs, m, name, h)
 }
 
 // writeClusterErr maps coordinator errors onto the API's status codes.
@@ -245,11 +242,19 @@ func (cs *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves flat expvar-style metrics: per-shard watermark lag
-// and event counts plus per-endpoint request counts and latencies.
+// handleMetrics serves metrics: by default flat expvar-style (per-shard
+// watermark lag and event counts plus per-endpoint request counts and
+// latencies); ?format=prometheus switches to the text exposition format,
+// with the replication-pipeline histograms and every member's engine/store
+// histograms bucket-merged into cluster-wide distributions (member gauges
+// stay distinguishable under a member="id" label).
 func (cs *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		writePrometheusResponse(w, cs.prometheusSnapshots())
 		return
 	}
 	st := cs.c.Stats()
@@ -289,16 +294,50 @@ func (cs *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out[p+"snapshot_reuse_ratio"] = m.SnapshotReuse
 		out[p+"matches_shared"] = m.MatchesShared
 	}
-	for name, m := range cs.eps {
-		n := m.count.Load()
-		out["requests."+name+".count"] = n
-		avg := int64(0)
-		if n > 0 {
-			avg = m.totalMicros.Load() / n
-		}
-		out["requests."+name+".avg_us"] = avg
-	}
+	flatEndpointMetrics(out, cs.eps, cs.c.Obs())
 	writeJSON(w, http.StatusOK, out)
+}
+
+// prometheusSnapshots assembles the coordinator's exposition set: its own
+// registry (replication + request histograms), every member's metric
+// snapshot merged in (histograms bucket-merged, gauges labeled by member),
+// and the cluster-level gauges from Stats.
+func (cs *Coordinator) prometheusSnapshots() []obs.MetricSnapshot {
+	st := cs.c.Stats()
+	acc := obs.NewAccum()
+	acc.Add(cs.c.Obs().Snapshot())
+	for _, m := range st.Members {
+		acc.Add(m.Metrics, obs.L("member", m.ID))
+	}
+	snaps := acc.Snapshots()
+	snaps = append(snaps,
+		gaugeSnap("flowmotif_cluster_watermark", "Cluster stream watermark (event time).", float64(st.Watermark)),
+		gaugeSnap("flowmotif_cluster_members", "Live cluster members.", float64(len(st.Members))),
+		gaugeSnap("flowmotif_cluster_subscriptions", "Subscriptions placed across the cluster.", float64(st.Subscriptions)),
+		counterSnap("flowmotif_cluster_events_total", "Events appended to the replication log.", float64(st.Events)),
+		counterSnap("flowmotif_cluster_downs_total", "Member failovers performed.", float64(st.Downs)),
+		gaugeSnap("flowmotif_cluster_log_entries", "Replication-log entries awaiting at least one member.", float64(st.LogEntries)),
+		counterSnap("flowmotif_cluster_backpressure_waits_total", "Ingest calls that blocked on a full member queue.", float64(st.Backpressure)),
+		gaugeSnap("flowmotif_cluster_degraded", "1 when query answers may be incomplete.", boolGauge(st.Degraded)),
+		counterSnap("flowmotif_http_requests_total", "HTTP requests served.", float64(cs.reqs.Load())),
+		gaugeSnap("flowmotif_uptime_seconds", "Seconds since the coordinator started.", time.Since(cs.started).Seconds()),
+	)
+	for _, m := range st.Members {
+		lbl := obs.L("member", m.ID)
+		snaps = append(snaps,
+			gaugeSnap("flowmotif_cluster_member_watermark_lag", "Cluster watermark minus member watermark (-1: stats probe failed).", float64(m.Lag), lbl),
+			gaugeSnap("flowmotif_cluster_member_repl_lag_entries", "Replication-log entries the member has not acked yet.", float64(m.ReplLagEntries), lbl),
+			gaugeSnap("flowmotif_cluster_member_failing", "1 when the member awaits failover reap.", boolGauge(m.Failing), lbl),
+		)
+	}
+	return snaps
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (cs *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"flowmotif/internal/obs"
+)
+
+// This file is the serving layer's observability plumbing, shared by the
+// single-engine Server and the cluster Coordinator: a status-capturing
+// ResponseWriter so request counts split by response class, per-endpoint
+// latency histograms (flowmotif_http_request_seconds{endpoint,code}), and
+// the helpers that render them into the flat JSON metric map and the
+// Prometheus exposition.
+
+// statusWriter records the response status the handler committed, so the
+// request accounting can split by class. A handler that never calls
+// WriteHeader implicitly answers 200 on the first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// codeClass buckets a status code into the label value of the request
+// histogram ("2xx", "4xx", "5xx", ...).
+func codeClass(code int) string {
+	switch {
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code >= 300 && code < 400:
+		return "3xx"
+	case code >= 400 && code < 500:
+		return "4xx"
+	case code >= 500:
+		return "5xx"
+	default:
+		return "1xx"
+	}
+}
+
+// endpointMetrics accumulates request counts per endpoint, split by
+// response class. Latency distribution lives in the registry's
+// flowmotif_http_request_seconds histograms; totalMicros only backs the
+// legacy avg_us field of the flat metric map.
+type endpointMetrics struct {
+	count       atomic.Int64
+	totalMicros atomic.Int64
+	c2xx        atomic.Int64
+	c4xx        atomic.Int64
+	c5xx        atomic.Int64
+	cOther      atomic.Int64 // 1xx/3xx
+}
+
+const httpHistHelp = "HTTP request latency by endpoint and response class."
+
+// countRequests wraps a handler with the shared request accounting: total
+// and per-class counts into m, latency into the registry's per-(endpoint,
+// code-class) histogram. Class histograms register lazily on first use, so
+// an endpoint that never errors never grows 4xx/5xx series.
+func countRequests(reg *obs.Registry, reqs *atomic.Int64, m *endpointMetrics, name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		d := time.Since(start)
+		m.count.Add(1)
+		m.totalMicros.Add(d.Microseconds())
+		code := sw.status
+		if code == 0 {
+			// The handler wrote nothing at all (e.g. a bare 200 with an
+			// empty body never touches the writer): net/http answers 200.
+			code = http.StatusOK
+		}
+		switch class := codeClass(code); class {
+		case "2xx":
+			m.c2xx.Add(1)
+		case "4xx":
+			m.c4xx.Add(1)
+		case "5xx":
+			m.c5xx.Add(1)
+		default:
+			m.cOther.Add(1)
+		}
+		if reg != nil {
+			reg.Histogram("flowmotif_http_request_seconds", httpHistHelp, nil,
+				obs.L("endpoint", name), obs.L("code", codeClass(code))).Observe(d.Seconds())
+		}
+	}
+}
+
+// flatEndpointMetrics renders the per-endpoint request accounting into the
+// flat metric map: count and class splits from m, the legacy avg_us mean,
+// and latency quantiles from the registry histograms (merged across
+// response classes per endpoint).
+func flatEndpointMetrics(out map[string]interface{}, eps map[string]*endpointMetrics, reg *obs.Registry) {
+	q := endpointQuantiles(reg)
+	for name, m := range eps {
+		n := m.count.Load()
+		p := "requests." + name + "."
+		out[p+"count"] = n
+		avg := int64(0)
+		if n > 0 {
+			avg = m.totalMicros.Load() / n
+		}
+		out[p+"avg_us"] = avg
+		out[p+"2xx"] = m.c2xx.Load()
+		out[p+"4xx"] = m.c4xx.Load()
+		out[p+"5xx"] = m.c5xx.Load()
+		if qs, ok := q[name]; ok {
+			out[p+"p50_us"] = int64(qs.P50 * 1e6)
+			out[p+"p95_us"] = int64(qs.P95 * 1e6)
+			out[p+"p99_us"] = int64(qs.P99 * 1e6)
+		}
+	}
+}
+
+// endpointQuantiles merges each endpoint's per-class request histograms
+// into one distribution and summarizes it.
+func endpointQuantiles(reg *obs.Registry) map[string]obs.Quantiles {
+	if reg == nil {
+		return nil
+	}
+	merged := map[string]*obs.HistogramSnapshot{}
+	for _, m := range reg.Snapshot() {
+		if m.Name != "flowmotif_http_request_seconds" || m.Hist == nil {
+			continue
+		}
+		var ep string
+		for _, l := range m.Labels {
+			if l.Key == "endpoint" {
+				ep = l.Value
+			}
+		}
+		if ep == "" {
+			continue
+		}
+		h := merged[ep]
+		if h == nil {
+			h = &obs.HistogramSnapshot{}
+			merged[ep] = h
+		}
+		_ = h.Merge(*m.Hist) // same bounds by construction
+	}
+	out := make(map[string]obs.Quantiles, len(merged))
+	for ep, h := range merged {
+		out[ep] = h.Summary()
+	}
+	return out
+}
+
+// gaugeSnap and counterSnap lift a point-in-time scalar into a metric
+// snapshot for the Prometheus exposition (used for the engine/store/cluster
+// gauges that live in Stats structs rather than the registry).
+func gaugeSnap(name, help string, v float64, labels ...obs.Label) obs.MetricSnapshot {
+	return obs.MetricSnapshot{Name: name, Help: help, Kind: obs.KindGauge, Labels: labels, Value: v}
+}
+
+func counterSnap(name, help string, v float64, labels ...obs.Label) obs.MetricSnapshot {
+	return obs.MetricSnapshot{Name: name, Help: help, Kind: obs.KindCounter, Labels: labels, Value: v}
+}
+
+// writePrometheusResponse renders snapshots in the Prometheus text format.
+func writePrometheusResponse(w http.ResponseWriter, snaps []obs.MetricSnapshot) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WritePrometheus(w, snaps)
+}

@@ -17,7 +17,9 @@
 //	GET  /subs      configured subscriptions.
 //	GET  /stats     engine + server statistics.
 //	GET  /metrics   flat expvar-style metrics: engine gauges plus
-//	                per-endpoint request counts and latencies.
+//	                per-endpoint request counts and latencies;
+//	                ?format=prometheus serves the text exposition format
+//	                with full latency histograms instead.
 //	GET  /healthz   health probe: watermark, event counts, last snapshot.
 //	POST /snapshot  checkpoint the engine + sink state to the data dir
 //	                (durable servers only).
@@ -48,6 +50,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -56,6 +59,7 @@ import (
 	"time"
 
 	"flowmotif/internal/cluster"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/store"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
@@ -94,6 +98,19 @@ type Config struct {
 	// MaxBodyBytes bounds POST request bodies (default 32 MiB); oversized
 	// requests are rejected with 413.
 	MaxBodyBytes int64
+	// Obs, when non-nil, is the metrics registry the server, its engine and
+	// its store record into; when nil (and DisableObs is false) the server
+	// creates one. GET /metrics?format=prometheus serves its contents.
+	Obs *obs.Registry
+	// DisableObs turns metric collection off entirely (no registry, no
+	// per-round histograms); /metrics still serves the flat map.
+	DisableObs bool
+	// Logger receives the server's structured logs (slow-round warnings
+	// among them); nil disables logging.
+	Logger *slog.Logger
+	// SlowRound is the engine's slow-finalize-round warning threshold
+	// (0: no warnings). Requires Logger.
+	SlowRound time.Duration
 }
 
 // RecoveryStats reports what New rebuilt from a data dir.
@@ -125,6 +142,7 @@ type Server struct {
 	maxBody   int64
 	started   time.Time
 	reqs      atomic.Int64
+	obsReg    *obs.Registry // nil with Config.DisableObs
 
 	// subMu guards subIDs, which cluster handoffs mutate at runtime.
 	subMu  sync.RWMutex
@@ -180,19 +198,33 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Subs) == 0 && !cfg.Member {
 		return nil, errors.New("server: at least one subscription required (cluster members start empty)")
 	}
+	// One registry per server: engine, store and HTTP instruments land
+	// together, so one scrape (or one /stats metrics payload for cluster
+	// transport) covers the whole pipeline.
+	reg := cfg.Obs
+	if cfg.DisableObs {
+		reg = nil
+	} else if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		recent:  stream.NewMemorySink(cfg.Recent),
 		topk:    stream.NewTopKSink(cfg.TopK),
 		member:  cfg.Member,
 		maxBody: cfg.MaxBodyBytes,
 		started: time.Now(),
+		obsReg:  reg,
 		subIDs:  map[string]bool{},
 		eps:     map[string]*endpointMetrics{},
 	}
 	eng, err := stream.NewEngine(stream.Config{
-		Subs:    cfg.Subs,
-		Workers: cfg.Workers,
-		Slack:   cfg.Slack,
+		Subs:       cfg.Subs,
+		Workers:    cfg.Workers,
+		Slack:      cfg.Slack,
+		Obs:        reg,
+		DisableObs: cfg.DisableObs,
+		Logger:     cfg.Logger,
+		SlowRound:  cfg.SlowRound,
 	}, stream.MultiSink{s.recent, s.topk})
 	if err != nil {
 		return nil, err
@@ -205,6 +237,7 @@ func New(cfg Config) (*Server, error) {
 		st, err := store.Open(cfg.DataDir, store.Options{
 			Sync:          cfg.SyncWrites,
 			SegmentEvents: cfg.SegmentEvents,
+			Obs:           reg,
 		})
 		if err != nil {
 			return nil, err
@@ -361,12 +394,6 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// endpointMetrics accumulates request count and latency per endpoint.
-type endpointMetrics struct {
-	count       atomic.Int64
-	totalMicros atomic.Int64
-}
-
 func (s *Server) endpoint(name string) *endpointMetrics {
 	s.epMu.Lock()
 	defer s.epMu.Unlock()
@@ -379,21 +406,24 @@ func (s *Server) endpoint(name string) *endpointMetrics {
 }
 
 func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
-	m := s.endpoint(name)
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.reqs.Add(1)
-		start := time.Now()
-		h(w, r)
-		m.count.Add(1)
-		m.totalMicros.Add(time.Since(start).Microseconds())
-	}
+	return countRequests(s.obsReg, &s.reqs, s.endpoint(name), name, h)
 }
 
-// handleMetrics serves a flat expvar-style metric map: engine gauges plus
-// per-endpoint request counts and mean latencies.
+// Obs returns the server's metrics registry (nil with Config.DisableObs).
+func (s *Server) Obs() *obs.Registry { return s.obsReg }
+
+// handleMetrics serves metrics: by default the flat expvar-style map
+// (engine gauges plus per-endpoint request counts and latencies);
+// ?format=prometheus switches to the text exposition format, which adds
+// the full latency histograms (finalize stages, detection lag, WAL and
+// request timings).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		writePrometheusResponse(w, s.prometheusSnapshots())
 		return
 	}
 	st := s.engine.Stats()
@@ -418,20 +448,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds":              time.Since(s.started).Seconds(),
 	}
 	if s.st != nil {
-		out["store.wal_events"] = s.st.Seq()
+		// wal_seq is the newest WAL sequence number — the count of events
+		// ever appended, not the events currently retained on disk (the old
+		// wal_events name suggested the latter).
+		out["store.wal_seq"] = s.st.Seq()
+		out["store.wal_segments"] = len(s.st.Segments())
+		if _, at, ok := s.st.SnapshotInfo(); ok {
+			out["store.snapshot_age_seconds"] = time.Since(at).Seconds()
+		}
 	}
 	s.epMu.Lock()
+	eps := make(map[string]*endpointMetrics, len(s.eps))
 	for name, m := range s.eps {
-		n := m.count.Load()
-		out["requests."+name+".count"] = n
-		avg := int64(0)
-		if n > 0 {
-			avg = m.totalMicros.Load() / n
-		}
-		out["requests."+name+".avg_us"] = avg
+		eps[name] = m
 	}
 	s.epMu.Unlock()
+	flatEndpointMetrics(out, eps, s.obsReg)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// prometheusSnapshots assembles the server's exposition set: the registry
+// contents (histograms and any registered scalars) plus the point-in-time
+// engine/store gauges that live in Stats structs.
+func (s *Server) prometheusSnapshots() []obs.MetricSnapshot {
+	var snaps []obs.MetricSnapshot
+	if s.obsReg != nil {
+		snaps = s.obsReg.Snapshot()
+	}
+	st := s.engine.Stats()
+	snaps = append(snaps,
+		gaugeSnap("flowmotif_engine_watermark", "Stream watermark (event time).", float64(st.Watermark)),
+		counterSnap("flowmotif_engine_events_ingested_total", "Events accepted by the engine.", float64(st.EventsIngested)),
+		gaugeSnap("flowmotif_engine_events_retained", "Events currently in the retention log.", float64(st.EventsRetained)),
+		counterSnap("flowmotif_engine_detections_total", "Motif instances finalized.", float64(st.Detections)),
+		gaugeSnap("flowmotif_engine_subscriptions", "Active motif subscriptions.", float64(len(st.Subs))),
+		gaugeSnap("flowmotif_engine_plan_groups", "Distinct (shape, delta) evaluation plan groups.", float64(st.PlanGroups)),
+		counterSnap("flowmotif_engine_snapshot_builds_total", "Graph snapshots built by the shared-evaluation planner.", float64(st.SnapshotBuilds)),
+		counterSnap("flowmotif_http_requests_total", "HTTP requests served.", float64(s.reqs.Load())),
+		gaugeSnap("flowmotif_uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds()),
+	)
+	if s.st != nil {
+		snaps = append(snaps,
+			gaugeSnap("flowmotif_store_wal_seq", "Newest WAL sequence number (events ever appended).", float64(s.st.Seq())),
+			gaugeSnap("flowmotif_store_wal_segments", "WAL segment files on disk.", float64(len(s.st.Segments()))),
+		)
+		if _, at, ok := s.st.SnapshotInfo(); ok {
+			snaps = append(snaps,
+				gaugeSnap("flowmotif_store_snapshot_age_seconds", "Seconds since the last engine checkpoint.", time.Since(at).Seconds()))
+		}
+	}
+	return snaps
 }
 
 // AddSubscription installs a cluster handoff: catch-up events and
@@ -853,6 +919,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"engine":        s.engine.Stats(),
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 		"httpRequests":  s.reqs.Load(),
+	}
+	if s.obsReg != nil {
+		// Full metric snapshot: cluster coordinators pull member histograms
+		// through this field and bucket-merge them into their exposition.
+		resp["metrics"] = s.obsReg.Snapshot()
 	}
 	if s.st != nil {
 		resp["store"] = map[string]interface{}{

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"flowmotif/internal/obs"
 	"flowmotif/internal/temporal"
 )
 
@@ -62,6 +63,9 @@ type Options struct {
 	// KeepSnapshots bounds the retained snapshot files (default 2, so one
 	// corrupt latest snapshot still leaves a usable predecessor).
 	KeepSnapshots int
+	// Obs receives store instrumentation — WAL append, fsync, and
+	// segment-seal timing histograms; nil disables it.
+	Obs *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -118,6 +122,11 @@ type Store struct {
 	snapSeq int64
 	snapAt  time.Time
 	hasSnap bool
+
+	// WAL timing histograms (nil without Options.Obs; all nil-safe).
+	mxAppend *obs.Histogram
+	mxFsync  *obs.Histogram
+	mxSeal   *obs.Histogram
 }
 
 // Open opens (creating if necessary) the store rooted at dir and recovers
@@ -130,6 +139,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		walDir:  filepath.Join(dir, "wal"),
 		snapDir: filepath.Join(dir, "snap"),
 		opts:    opts.withDefaults(),
+	}
+	if r := s.opts.Obs; r != nil {
+		s.mxAppend = r.Histogram("flowmotif_store_append_seconds",
+			"Whole WAL batch append wall-clock (validate, write, roll, flush).", obs.LatencyBuckets)
+		s.mxFsync = r.Histogram("flowmotif_store_fsync_seconds",
+			"Active-segment fsync wall-clock (observed only with Options.Sync).", obs.LatencyBuckets)
+		s.mxSeal = r.Histogram("flowmotif_store_seal_seconds",
+			"Segment roll wall-clock: seal (index header rewrite, final sync) plus successor creation.", obs.LatencyBuckets)
 	}
 	for _, d := range []string{s.walDir, s.snapDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -298,6 +315,7 @@ func (s *Store) Append(events []temporal.Event) error {
 	if s.started && batch[0].T < s.lastT {
 		return fmt.Errorf("store: batch reaches back to t=%d behind the recorded frontier %d", batch[0].T, s.lastT)
 	}
+	sp := s.mxAppend.Start()
 	for i := range batch {
 		if err := s.active.append(batch[i]); err != nil {
 			return s.failLocked(fmt.Errorf("store: append: %w", err))
@@ -313,9 +331,15 @@ func (s *Store) Append(events []temporal.Event) error {
 			}
 		}
 	}
+	fsp := obs.Span{}
+	if s.opts.Sync {
+		fsp = s.mxFsync.Start()
+	}
 	if err := s.active.flush(s.opts.Sync); err != nil {
 		return s.failLocked(fmt.Errorf("store: flush: %w", err))
 	}
+	fsp.End()
+	sp.End()
 	return nil
 }
 
@@ -345,6 +369,7 @@ func (s *Store) failLocked(err error) error {
 
 // rollLocked seals the active segment and starts a fresh one.
 func (s *Store) rollLocked() error {
+	defer s.mxSeal.Start().End()
 	info, err := s.active.seal()
 	if err != nil {
 		return fmt.Errorf("store: seal: %w", err)

@@ -7,6 +7,7 @@ import (
 
 	"flowmotif/internal/gen"
 	"flowmotif/internal/motif"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/temporal"
 )
 
@@ -73,6 +74,12 @@ type BenchRow struct {
 	SnapshotReuse  float64 `json:"snapshot_reuse"`
 	MatchesShared  int64   `json:"matches_shared"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
+	// Stages are the per-finalize-round stage latency quantiles (seconds)
+	// from the engine's flowmotif_finalize_stage_seconds histograms, and
+	// DetectionLag the ingest-to-emit quantiles — where a row's wall-clock
+	// actually went.
+	Stages       map[string]obs.Quantiles `json:"stages,omitempty"`
+	DetectionLag *obs.Quantiles           `json:"detection_lag,omitempty"`
 }
 
 // BenchReport is the JSON shape of BENCH_stream.json.
@@ -84,6 +91,13 @@ type BenchReport struct {
 	// throughput ratio for shared-shape subscriptions — the refactor's
 	// headline number (the acceptance gate reads the "100" entry).
 	SharedSpeedup map[string]float64 `json:"shared_speedup"`
+	// ObsOverhead is the fractional ingest slowdown of metric collection:
+	// (best obs-on elapsed − best obs-off elapsed) / best obs-off elapsed
+	// at 100 shared-shape subscriptions, best of ObsOverheadRuns runs each,
+	// measured in the same process (the CI gate keeps it under 5%). Can be
+	// slightly negative on a noisy machine.
+	ObsOverhead     float64 `json:"obs_overhead"`
+	ObsOverheadRuns int     `json:"obs_overhead_runs"`
 }
 
 // BenchSubs builds n distinct benchmark subscriptions: all on one shape
@@ -167,31 +181,25 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			rep.SharedSpeedup[fmt.Sprint(n)] = now / base
 		}
 	}
+	overhead, runs, err := measureObsOverhead(evs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.ObsOverhead = overhead
+	rep.ObsOverheadRuns = runs
 	return rep, nil
 }
 
 func runBenchRow(n int, shapes, planner string, evs []temporal.Event, cfg BenchConfig) (BenchRow, error) {
-	eng, err := NewEngine(Config{
+	eng, elapsed, err := ingestRun(Config{
 		Subs:                 BenchSubs(n, shapes == "shared", cfg.Delta, cfg.Phi),
 		DisableSharedPlanner: planner == "per-sub",
-	}, nil)
+	}, evs, cfg.Batch)
 	if err != nil {
 		return BenchRow{}, err
 	}
-	start := time.Now()
-	for lo := 0; lo < len(evs); lo += cfg.Batch {
-		hi := lo + cfg.Batch
-		if hi > len(evs) {
-			hi = len(evs)
-		}
-		if _, err := eng.Ingest(evs[lo:hi]); err != nil {
-			return BenchRow{}, err
-		}
-	}
-	eng.Flush()
-	elapsed := time.Since(start)
 	st := eng.Stats()
-	return BenchRow{
+	row := BenchRow{
 		Subs:           n,
 		Shapes:         shapes,
 		Planner:        planner,
@@ -202,5 +210,70 @@ func runBenchRow(n int, shapes, planner string, evs []temporal.Event, cfg BenchC
 		SnapshotReuse:  st.SnapshotReuse,
 		MatchesShared:  st.MatchesShared,
 		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
-	}, nil
+	}
+	for _, m := range eng.Obs().Snapshot() {
+		if m.Hist == nil || m.Hist.Count == 0 {
+			continue
+		}
+		switch m.Name {
+		case "flowmotif_finalize_stage_seconds":
+			for _, l := range m.Labels {
+				if l.Key == "stage" {
+					if row.Stages == nil {
+						row.Stages = map[string]obs.Quantiles{}
+					}
+					row.Stages[l.Value] = m.Hist.Summary()
+				}
+			}
+		case "flowmotif_detection_lag_seconds":
+			q := m.Hist.Summary()
+			row.DetectionLag = &q
+		}
+	}
+	return row, nil
+}
+
+// ingestRun drives one engine over the stream and times it.
+func ingestRun(cfg Config, evs []temporal.Event, batch int) (*Engine, time.Duration, error) {
+	eng, err := NewEngine(cfg, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(evs); lo += batch {
+		hi := lo + batch
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		if _, err := eng.Ingest(evs[lo:hi]); err != nil {
+			return nil, 0, err
+		}
+	}
+	eng.Flush()
+	return eng, time.Since(start), nil
+}
+
+// measureObsOverhead times the same 100-shared-subscription workload with
+// metric collection on and off (Config.DisableObs), interleaved best-of-3,
+// in the same process — the fairest overhead figure a single run can give.
+func measureObsOverhead(evs []temporal.Event, cfg BenchConfig) (float64, int, error) {
+	const runs = 3
+	subs := func() []Subscription { return BenchSubs(100, true, cfg.Delta, cfg.Phi) }
+	best := map[bool]time.Duration{}
+	for i := 0; i < runs; i++ {
+		for _, disable := range []bool{false, true} {
+			_, elapsed, err := ingestRun(Config{Subs: subs(), DisableObs: disable}, evs, cfg.Batch)
+			if err != nil {
+				return 0, 0, err
+			}
+			if cur, ok := best[disable]; !ok || elapsed < cur {
+				best[disable] = elapsed
+			}
+		}
+	}
+	off := best[true].Seconds()
+	if off <= 0 {
+		return 0, runs, nil
+	}
+	return (best[false].Seconds() - off) / off, runs, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"flowmotif/internal/temporal"
 )
@@ -38,9 +39,16 @@ type AddOptions struct {
 // (their detections reach the sink before AddSubscription returns).
 // Validation is all-or-nothing: on error the engine is unchanged.
 func (e *Engine) AddSubscription(sub Subscription, opts AddOptions) error {
+	var arrived time.Time
+	if e.mx != nil {
+		arrived = time.Now()
+	}
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
+	// The catch-up finalize below drains through emitPending; its
+	// detections' lag is measured from this call's arrival.
+	e.arrivedAt = arrived
 	if err := e.failedLocked(); err != nil {
 		// A fail-stopped engine must not finalize bands over its diverged
 		// log on behalf of the newcomer (see ErrFailStopped).

@@ -1,0 +1,115 @@
+package stream
+
+// Engine instrumentation (internal/obs). The engine records, per finalize
+// round, a stage breakdown histogram — snapshot build, phase-P1 match
+// run, per-subscription fan-out, sink emit — plus the end-to-end
+// detection lag (batch arrival wall-clock → detection emit), the number a
+// latency SLO is written against. All instruments are nil-safe, so a
+// Config.DisableObs engine carries a nil *engineMetrics and pays nothing
+// (no clock reads either: roundTrace stays off).
+
+import (
+	"log/slog"
+	"time"
+
+	"flowmotif/internal/obs"
+)
+
+type engineMetrics struct {
+	stageSnapshot *obs.Histogram
+	stageMatch    *obs.Histogram
+	stageFanout   *obs.Histogram
+	stageEmit     *obs.Histogram
+	round         *obs.Histogram
+	detectionLag  *obs.Histogram
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram("flowmotif_finalize_stage_seconds",
+			"Per-finalize-round stage wall-clock: snapshot build, phase-P1 match run, per-subscription fan-out, sink emit.",
+			obs.LatencyBuckets, obs.L("stage", name))
+	}
+	return &engineMetrics{
+		stageSnapshot: stage("snapshot"),
+		stageMatch:    stage("match"),
+		stageFanout:   stage("fanout"),
+		stageEmit:     stage("emit"),
+		round: r.Histogram("flowmotif_finalize_round_seconds",
+			"Whole finalize round wall-clock (all stages, excluding sink emit).", obs.LatencyBuckets),
+		detectionLag: r.Histogram("flowmotif_detection_lag_seconds",
+			"End-to-end detection lag: ingest batch arrival wall-clock to detection emit.", obs.LatencyBuckets),
+	}
+}
+
+// emitHist and lagHist are nil-safe accessors for the two instruments
+// observed outside finalize (emitPending runs with mu released).
+func (m *engineMetrics) emitHist() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.stageEmit
+}
+
+func (m *engineMetrics) lagHist() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.detectionLag
+}
+
+// roundTrace accumulates one finalize round's stage durations. The
+// stages interleave per shape (a sliver shape builds a private graph
+// mid-round), so each stage is a sum of marks, recorded once at round
+// end. It stays off — zero clock reads — unless metrics or slow-round
+// logging want it.
+type roundTrace struct {
+	on                  bool
+	t0, last            time.Time
+	snap, match, fanout time.Duration
+}
+
+func (t *roundTrace) begin(e *Engine) {
+	if e.mx == nil && (e.logger == nil || e.slowRound <= 0) {
+		return
+	}
+	t.on = true
+	t.t0 = time.Now()
+	t.last = t.t0
+}
+
+// mark adds the time since the previous mark to one stage accumulator.
+func (t *roundTrace) mark(d *time.Duration) {
+	if !t.on {
+		return
+	}
+	now := time.Now()
+	*d += now.Sub(t.last)
+	t.last = now
+}
+
+// end records the round into the engine's histograms and logs a
+// slow-round warning with the stage breakdown when the round exceeded
+// the configured threshold. The caller holds mu.
+func (t *roundTrace) end(e *Engine, watermark int64, bands int) {
+	if !t.on {
+		return
+	}
+	total := time.Since(t.t0)
+	if mx := e.mx; mx != nil {
+		mx.stageSnapshot.ObserveDuration(t.snap)
+		mx.stageMatch.ObserveDuration(t.match)
+		mx.stageFanout.ObserveDuration(t.fanout)
+		mx.round.ObserveDuration(total)
+	}
+	if e.logger != nil && e.slowRound > 0 && total > e.slowRound {
+		e.logger.Warn("slow finalize round",
+			slog.Duration("total", total),
+			slog.Duration("snapshot", t.snap),
+			slog.Duration("match", t.match),
+			slog.Duration("fanout", t.fanout),
+			slog.Int64("watermark", watermark),
+			slog.Int("bands", bands),
+			slog.Int64("retained_events", int64(e.log.Len())))
+	}
+}

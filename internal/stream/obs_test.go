@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"flowmotif/internal/motif"
+	"flowmotif/internal/obs"
+	"flowmotif/internal/temporal"
+)
+
+func obsTestSubs() []Subscription {
+	return []Subscription{
+		{ID: "a", Motif: motif.Catalog()[1], Delta: 10, Phi: 1},
+		{ID: "b", Motif: motif.Catalog()[1], Delta: 10, Phi: 2},
+	}
+}
+
+func obsTestEvents() []temporal.Event {
+	// A triangle u→v→w→u repeated far enough apart that the watermark
+	// closes earlier windows (δ=10).
+	var evs []temporal.Event
+	for i := 0; i < 40; i++ {
+		t := int64(i * 5)
+		u, v, w := temporal.NodeID(i%7), temporal.NodeID(i%7+1), temporal.NodeID(i%7+2)
+		evs = append(evs,
+			temporal.Event{From: u, To: v, T: t, F: 5},
+			temporal.Event{From: v, To: w, T: t + 1, F: 5},
+			temporal.Event{From: w, To: u, T: t + 2, F: 5},
+		)
+	}
+	return evs
+}
+
+func histByStage(t *testing.T, snaps []obs.MetricSnapshot, name, stage string) *obs.HistogramSnapshot {
+	t.Helper()
+	for _, m := range snaps {
+		if m.Name != name {
+			continue
+		}
+		if stage == "" {
+			return m.Hist
+		}
+		for _, l := range m.Labels {
+			if l.Key == "stage" && l.Value == stage {
+				return m.Hist
+			}
+		}
+	}
+	t.Fatalf("no %s{stage=%q} in snapshot", name, stage)
+	return nil
+}
+
+func TestEngineStageAndLagHistograms(t *testing.T) {
+	eng, err := NewEngine(Config{Subs: obsTestSubs()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := obsTestEvents()
+	for lo := 0; lo < len(evs); lo += 10 {
+		hi := min(lo+10, len(evs))
+		if _, err := eng.Ingest(evs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	if eng.Stats().Detections == 0 {
+		t.Fatal("test stream produced no detections")
+	}
+	snaps := eng.Obs().Snapshot()
+	for _, stage := range []string{"snapshot", "match", "fanout"} {
+		h := histByStage(t, snaps, "flowmotif_finalize_stage_seconds", stage)
+		if h == nil || h.Count == 0 {
+			t.Fatalf("stage %q never observed", stage)
+		}
+	}
+	// Two same-shape subscriptions share one plan group, so the shared
+	// match path (and its fan-out) must be what ran.
+	lag := histByStage(t, snaps, "flowmotif_detection_lag_seconds", "")
+	if lag == nil || int64(lag.Count) != eng.Stats().Detections {
+		t.Fatalf("detection lag count = %+v, want one observation per detection (%d)",
+			lag, eng.Stats().Detections)
+	}
+	if lag.Sum <= 0 {
+		t.Fatalf("detection lag sum = %v, want > 0", lag.Sum)
+	}
+	round := histByStage(t, snaps, "flowmotif_finalize_round_seconds", "")
+	if round == nil || round.Count == 0 {
+		t.Fatal("finalize rounds never observed")
+	}
+}
+
+func TestEngineDisableObs(t *testing.T) {
+	eng, err := NewEngine(Config{Subs: obsTestSubs(), DisableObs: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Obs() != nil {
+		t.Fatal("DisableObs engine still has a registry")
+	}
+	if _, err := eng.Ingest(obsTestEvents()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+}
+
+func TestEngineSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, err := NewEngine(Config{Subs: obsTestSubs(), Obs: reg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Obs() != reg {
+		t.Fatal("engine did not adopt the shared registry")
+	}
+}
+
+func TestEngineSlowRoundWarning(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	// Threshold of 1ns: every round is "slow".
+	eng, err := NewEngine(Config{Subs: obsTestSubs(), Logger: logger, SlowRound: time.Nanosecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Ingest(obsTestEvents()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+	out := buf.String()
+	if !strings.Contains(out, "slow finalize round") {
+		t.Fatalf("no slow-round warning logged:\n%s", out)
+	}
+	for _, attr := range []string{"snapshot=", "match=", "fanout=", "watermark="} {
+		if !strings.Contains(out, attr) {
+			t.Fatalf("slow-round warning missing %s:\n%s", attr, out)
+		}
+	}
+}

@@ -145,14 +145,19 @@ func (e *Engine) finalize(terminal bool) {
 	if len(due) == 0 {
 		return
 	}
+	var tr roundTrace
+	tr.begin(e)
 	if e.perSub {
 		// Ablation / comparison baseline: the pre-planner per-subscription
-		// path (one graph and one match walk per subscription).
+		// path (one graph and one match walk per subscription). The fused
+		// build+walk is not stage-attributable; it lands in fanout.
 		for _, db := range due {
 			for _, s := range db.subs {
 				e.finalizeSubStandalone(s, w, db.hi)
 			}
 		}
+		tr.mark(&tr.fanout)
+		tr.end(e, w, len(due))
 		return
 	}
 
@@ -165,6 +170,7 @@ func (e *Engine) finalize(terminal bool) {
 		panic(fmt.Sprintf("stream: round snapshot: %v", err))
 	}
 	e.snapshotBuilds++
+	tr.mark(&tr.snap)
 
 	// Bucket the due groups by shape (first-seen order, so finalization
 	// order is deterministic) and run phase P1 once per shape.
@@ -214,13 +220,16 @@ func (e *Engine) finalize(terminal bool) {
 			}
 			e.snapshotBuilds++
 			g = sg
+			tr.mark(&tr.snap)
 		}
 		if sp.nsubs == 1 {
 			// Single consumer: stream fused matches straight into phase P2
-			// without materializing them (the pre-planner fast path).
+			// without materializing them (the pre-planner fast path). The
+			// fused P1+P2 walk is not stage-separable; it lands in fanout.
 			db := due[sp.bands[0]]
 			e.matchRuns++
 			e.enumerateBand(g, db.subs[0], nil, db.hi, w, false)
+			tr.mark(&tr.fanout)
 			continue
 		}
 		mo := due[sp.bands[0]].subs[0].sub.Motif
@@ -231,13 +240,16 @@ func (e *Engine) finalize(terminal bool) {
 		}
 		e.matchRuns++
 		e.matchesShared += int64(len(matches)) * int64(sp.nsubs-1)
+		tr.mark(&tr.match)
 		for _, bi := range sp.bands {
 			db := due[bi]
 			for _, s := range db.subs {
 				e.enumerateBand(g, s, matches, db.hi, w, true)
 			}
 		}
+		tr.mark(&tr.fanout)
 	}
+	tr.end(e, w, len(due))
 }
 
 // enumerateBand advances one subscription's emitted bound to hi,

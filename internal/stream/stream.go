@@ -27,12 +27,15 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"flowmotif/internal/core"
 	"flowmotif/internal/motif"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/temporal"
 )
 
@@ -63,6 +66,20 @@ type Config struct {
 	// §11. Results are identical either way; the switch exists as the
 	// benchmark baseline and for ablation.
 	DisableSharedPlanner bool
+	// Obs is the metrics registry the engine's stage and detection-lag
+	// histograms register into; nil creates a private registry (readable
+	// via Engine.Obs) unless DisableObs is set.
+	Obs *obs.Registry
+	// DisableObs turns engine instrumentation off entirely — no histogram
+	// updates and no clock reads on the ingest path (the benchmark
+	// overhead gate compares against this).
+	DisableObs bool
+	// Logger receives structured engine logs (currently slow-round
+	// warnings); nil disables logging.
+	Logger *slog.Logger
+	// SlowRound, when positive and Logger is set, logs a warning with the
+	// stage breakdown for any finalize round that takes longer than this.
+	SlowRound time.Duration
 }
 
 // Detection is one finalized maximal motif instance, self-contained (it
@@ -172,6 +189,17 @@ type Engine struct {
 	detections int64
 	failErr    error // fail-stop poison: set after a partial batch append
 
+	// Instrumentation (obs.go). obsReg is the registry (nil when
+	// Config.DisableObs); mx holds the engine's histograms; arrivedAt is
+	// the wall-clock the in-flight Ingest/Flush entered at, read by
+	// emitPending for the detection-lag histogram (serialized by
+	// ingestMu).
+	obsReg    *obs.Registry
+	mx        *engineMetrics
+	logger    *slog.Logger
+	slowRound time.Duration
+	arrivedAt time.Time
+
 	scratch []temporal.Event // reused per-batch sort buffer
 	pending []*Detection     // finalized this call, emitted after mu release
 
@@ -195,13 +223,22 @@ func NewEngine(cfg Config, sink Sink) (*Engine, error) {
 		return nil, errors.New("stream: Slack must be non-negative")
 	}
 	e := &Engine{
-		log:      temporal.NewWindowLog(),
-		sink:     sink,
-		workers:  cfg.Workers,
-		slack:    cfg.Slack,
-		perSub:   cfg.DisableSharedPlanner,
-		groupIdx: map[planKey]*planGroup{},
-		minNextT: math.MinInt64,
+		log:       temporal.NewWindowLog(),
+		sink:      sink,
+		workers:   cfg.Workers,
+		slack:     cfg.Slack,
+		perSub:    cfg.DisableSharedPlanner,
+		groupIdx:  map[planKey]*planGroup{},
+		minNextT:  math.MinInt64,
+		logger:    cfg.Logger,
+		slowRound: cfg.SlowRound,
+	}
+	if !cfg.DisableObs {
+		e.obsReg = cfg.Obs
+		if e.obsReg == nil {
+			e.obsReg = obs.NewRegistry()
+		}
+		e.mx = newEngineMetrics(e.obsReg)
 	}
 	for i, s := range cfg.Subs {
 		st, err := e.newSubState(s)
@@ -271,9 +308,16 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 		e.mu.Unlock()
 		return Ack{Watermark: w, Started: ok}, nil
 	}
+	var arrived time.Time
+	if e.mx != nil {
+		// Captured before any lock wait: detection lag is arrival → emit,
+		// including queueing behind in-flight ingests.
+		arrived = time.Now()
+	}
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
+	e.arrivedAt = arrived
 	if err := e.failedLocked(); err != nil {
 		e.mu.Unlock()
 		return Ack{}, err
@@ -354,9 +398,14 @@ func (e *Engine) Flush() {
 // fail-stopped engine the flush is an inert zero ack (the signature has no
 // error); callers that must distinguish poisoned from empty check Err.
 func (e *Engine) FlushWithAck() Ack {
+	var arrived time.Time
+	if e.mx != nil {
+		arrived = time.Now()
+	}
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
+	e.arrivedAt = arrived
 	w, ok := e.log.Watermark()
 	if !ok || e.failErr != nil {
 		// A fail-stopped engine must not foreclose windows over its
@@ -382,10 +431,24 @@ func (e *Engine) FlushWithAck() Ack {
 func (e *Engine) emitPending() {
 	pend := e.pending
 	e.pending = nil
+	arrived := e.arrivedAt
 	e.mu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	sp := e.mx.emitHist().Start()
 	if e.sink != nil {
 		for _, d := range pend {
 			e.sink.Emit(d)
+		}
+	}
+	sp.End()
+	if lagH := e.mx.lagHist(); lagH != nil && !arrived.IsZero() {
+		// All of the batch's detections reach the sink in this one drain;
+		// they share the batch's arrival → emit lag.
+		lag := time.Since(arrived).Seconds()
+		for range pend {
+			lagH.Observe(lag)
 		}
 	}
 }
@@ -455,6 +518,13 @@ func (e *Engine) Err() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.failedLocked()
+}
+
+// Obs returns the engine's metrics registry: the one from Config.Obs, or
+// the private registry created when none was given. Nil when the engine
+// was built with Config.DisableObs.
+func (e *Engine) Obs() *obs.Registry {
+	return e.obsReg
 }
 
 // Watermark returns the largest ingested timestamp (ok false before the
