@@ -52,11 +52,12 @@ func main() {
 		benchStreamOut = flag.String("bench-stream-out", "BENCH_stream.json", "output path for -bench-stream (JSON)")
 		benchStreamMin = flag.Float64("bench-stream-min-speedup", 0, "fail unless the shared planner beats the per-sub baseline by at least this factor at 100 shared-shape subscriptions (0: no gate)")
 		benchObsMax    = flag.Float64("bench-obs-max-overhead", 0, "fail when metric collection slows ingest by more than this fraction vs the same run with Config.DisableObs (0: no gate)")
+		benchTrcMax    = flag.Float64("bench-trace-max-overhead", 0, "fail when flight-recorder span tracing slows ingest by more than this fraction vs the same run with Config.DisableTrace (0: no gate)")
 	)
 	flag.Parse()
 
 	if *benchStream {
-		runStreamBench(*benchStreamOut, *seed, *benchStreamMin, *benchObsMax)
+		runStreamBench(*benchStreamOut, *seed, *benchStreamMin, *benchObsMax, *benchTrcMax)
 		return
 	}
 	if *benchClust {
@@ -168,7 +169,7 @@ func run(name string, f func()) {
 // baseline), writes BENCH_stream.json, and optionally gates on the 100-sub
 // shared-shape speedup. The speedup is a same-run ratio, so the gate is
 // stable across machines (unlike absolute events/sec).
-func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead float64) {
+func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead, maxTraceOverhead float64) {
 	fmt.Println("stream bench: subscription sweep, shared vs distinct shapes, planner vs per-sub baseline...")
 	t0 := time.Now()
 	rep, err := stream.RunBench(stream.BenchConfig{Seed: seed})
@@ -211,6 +212,15 @@ func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead float64) 
 				rep.ObsOverhead*100, maxObsOverhead*100))
 		}
 		fmt.Printf("obs gate ok: %.2f%% <= %.2f%%\n", rep.ObsOverhead*100, maxObsOverhead*100)
+	}
+	fmt.Printf("trace overhead: %.2f%% (span recording vs DisableTrace, best of %d interleaved runs)\n",
+		rep.TraceOverhead*100, rep.TraceOverheadRuns)
+	if maxTraceOverhead > 0 {
+		if rep.TraceOverhead > maxTraceOverhead {
+			fatal(fmt.Sprintf("trace gate: span recording costs %.2f%% of ingest throughput, want <= %.2f%%",
+				rep.TraceOverhead*100, maxTraceOverhead*100))
+		}
+		fmt.Printf("trace gate ok: %.2f%% <= %.2f%%\n", rep.TraceOverhead*100, maxTraceOverhead*100)
 	}
 }
 

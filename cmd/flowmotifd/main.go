@@ -63,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -70,6 +71,7 @@ import (
 
 	"flowmotif/internal/cluster"
 	"flowmotif/internal/motif"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/server"
 	"flowmotif/internal/stream"
 )
@@ -191,10 +193,17 @@ func main() {
 		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
 		slowRnd  = flag.Duration("slow-round", 0, "warn when one finalize round exceeds this duration, with a per-stage breakdown (0 disables)")
+		slowReq  = flag.Duration("slow-request", 0, "tail-sample HTTP requests slower than this: retain the trace in the flight recorder and warn with its trace ID (0 disables)")
+		version  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
 	flag.Var(&joins, "join", `coordinator: member daemon "id=http://host:port" (repeatable)`)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("flowmotifd %s %s\n", obs.Version, runtime.Version())
+		return
+	}
 
 	logger, err := newLogger(*logLevel, *logFmt)
 	if err != nil {
@@ -227,7 +236,7 @@ func main() {
 			workers: *workers, recent: *recent, topk: *topk,
 			dataDir: *dataDir, fsync: *fsync, histCap: *histCap,
 			queueDepth: *queueCap, coalesce: *coalesce,
-			logger: logger,
+			logger: logger, slowReq: *slowReq,
 		})
 		return
 	}
@@ -250,6 +259,7 @@ func main() {
 		Member:        *member,
 		Logger:        logger,
 		SlowRound:     *slowRnd,
+		SlowRequest:   *slowReq,
 	})
 	if err != nil {
 		fatal(logger, "startup failed", "err", err)
@@ -339,6 +349,7 @@ type coordOptions struct {
 	queueDepth int
 	coalesce   int
 	logger     *slog.Logger
+	slowReq    time.Duration
 }
 
 // runCoordinator starts the cluster-coordinator role: -shards in-process
@@ -387,7 +398,10 @@ func runCoordinator(o coordOptions) {
 		logger.Warn("history unbounded: the full broadcast stream is retained in memory for lossless failover; bound it with -history-limit N (failover then regenerates only the newest N events)")
 	}
 
-	cs := server.NewCoordinator(c, 0)
+	cs := server.NewCoordinatorWith(c, server.CoordinatorConfig{
+		Logger:      logger,
+		SlowRequest: o.slowReq,
+	})
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           cs.Handler(),

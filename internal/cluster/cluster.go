@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -45,6 +46,12 @@ type Config struct {
 	// (append→ack lag, delivery time, coalesce sizes) register into; nil
 	// creates a private registry, readable via Coordinator.Obs.
 	Obs *obs.Registry
+	// Tracer is the flight recorder the coordinator's pipeline spans
+	// (batch append, per-member replication delivery) and query spans
+	// record into; nil creates a private one, readable via
+	// Coordinator.Tracer. The serving layer shares it so request spans
+	// and pipeline spans land in one ring.
+	Tracer *obs.Tracer
 }
 
 // memberState tracks one registered member and its replication pipeline
@@ -123,6 +130,7 @@ type Coordinator struct {
 	mxReplLag  *obs.Histogram
 	mxDeliver  *obs.Histogram
 	mxCoalesce *obs.Histogram
+	tracer     *obs.Tracer
 }
 
 // New builds a coordinator over the given members and places the
@@ -162,6 +170,10 @@ func New(cfg Config) (*Coordinator, error) {
 	c.obsReg = cfg.Obs
 	if c.obsReg == nil {
 		c.obsReg = obs.NewRegistry()
+	}
+	c.tracer = cfg.Tracer
+	if c.tracer == nil {
+		c.tracer = obs.NewTracer(0)
 	}
 	c.mxReplLag = c.obsReg.Histogram("flowmotif_replication_lag_seconds",
 		"Append→ack lag per replication-log entry: coordinator log append to the owning member's applied ack.",
@@ -287,9 +299,23 @@ func (c *Coordinator) validateBatch(events []temporal.Event) ([]temporal.Event, 
 // once a batch is acked here it survives member failures (failover
 // regenerates subscriptions from the coordinator's history).
 func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
+	return c.IngestTraced(events, obs.SpanContext{})
+}
+
+// IngestTraced is Ingest under a caller-provided span context: the serving
+// layer passes its "http.ingest" request span so the batch's whole
+// lifecycle — append, replication deliveries, member-side finalize and
+// emit — lands in one trace with the HTTP request as the root.
+func (c *Coordinator) IngestTraced(events []temporal.Event, parent obs.SpanContext) (IngestAck, error) {
 	if len(events) == 0 {
 		return IngestAck{Watermark: c.Watermark()}, nil
 	}
+	// The batch's trace starts here (unless a request span already roots
+	// it): "ingest.append" anchors the replication deliveries and the
+	// member-side ingest/finalize spans. Its trace ID travels back in the
+	// ack, keying the full stitched tree in /debug/traces.
+	root := c.tracer.StartSpan("ingest.append", parent,
+		obs.L("events", strconv.Itoa(len(events))))
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
 	c.mu.Lock()
@@ -307,10 +333,12 @@ func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
 		c.mu.Unlock()
 	}
 	if n == 0 {
+		endSpanErr(root, ErrNoMembers)
 		return IngestAck{}, ErrNoMembers
 	}
 	batch, err := c.validateBatch(events)
 	if err != nil {
+		endSpanErr(root, err)
 		return IngestAck{}, err
 	}
 	last := batch[len(batch)-1].T
@@ -326,7 +354,7 @@ func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
 	if len(c.repl) == 0 {
 		c.replBase = seq
 	}
-	c.repl = append(c.repl, logEntry{seq: seq, events: batch, appendedAt: time.Now()})
+	c.repl = append(c.repl, logEntry{seq: seq, events: batch, appendedAt: time.Now(), sc: root.Context()})
 	c.logEvents += len(batch)
 	c.watermark = last
 	c.started = true
@@ -335,7 +363,9 @@ func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.minNextT = last
-	return IngestAck{Ingested: len(batch), Watermark: last, Seq: seq}, nil
+	root.Annotate(obs.L("seq", strconv.FormatInt(seq, 10)))
+	root.End()
+	return IngestAck{Ingested: len(batch), Watermark: last, Seq: seq, Trace: root.Context().Trace}, nil
 }
 
 // Flush broadcasts the end-of-stream marker: the replication pipeline is
@@ -751,23 +781,42 @@ func (c *Coordinator) moveLocked(subID, from, to string) error {
 // distinguishable from a degraded gather (Degraded set when shards failed
 // the query, subscriptions are unplaced, or a member awaits failover).
 func (c *Coordinator) Instances(sub string, limit int) ([]*stream.Detection, Gather, error) {
+	return c.InstancesTraced(sub, limit, obs.SpanContext{})
+}
+
+// InstancesTraced is Instances under a caller-provided span context (the
+// serving layer's request span): the scatter-gather gets a "query.
+// instances" span with one "query.shard" child per member, each shard's
+// context propagated over the traced transport. A zero parent records no
+// spans — query traces exist only inside a request trace.
+func (c *Coordinator) InstancesTraced(sub string, limit int, parent obs.SpanContext) ([]*stream.Detection, Gather, error) {
+	root := c.spanIf("query.instances", parent, obs.L("sub", sub))
+	defer root.End()
 	if sub != "" {
 		m, err := c.ownerOf(sub)
 		if err != nil {
+			endSpanErr(root, err)
 			return nil, Gather{}, err
 		}
+		sp := c.spanIf("query.shard", root.Context(), obs.L("member", m.ID()))
 		var r QueryResult
 		if err := c.retry(func() error {
 			var e error
-			r, e = m.Instances(sub, limit)
+			r, e = memberInstances(m, sub, limit, sp.Context())
 			return e
 		}); err != nil {
+			endSpanErr(sp, err)
+			endSpanErr(root, err)
 			return nil, Gather{}, err
 		}
+		sp.End()
 		return r.Detections, Gather{Watermark: r.Watermark, Started: r.Started, Degraded: c.degraded()}, nil
 	}
-	results, dropped, err := c.gather(func(m Member) (QueryResult, error) { return m.Instances("", limit) })
+	results, dropped, err := c.gather(root.Context(), func(m Member, sc obs.SpanContext) (QueryResult, error) {
+		return memberInstances(m, "", limit, sc)
+	})
 	if err != nil {
+		endSpanErr(root, err)
 		return nil, Gather{}, err
 	}
 	alignedW, started, lists := alignWatermark(results)
@@ -783,23 +832,39 @@ func (c *Coordinator) Instances(sub string, limit int) ([]*stream.Detection, Gat
 // ks. Returns the detections and the aligned Gather status (see
 // Instances for its no-data/degraded semantics).
 func (c *Coordinator) TopK(sub string, k int) ([]*stream.Detection, Gather, error) {
+	return c.TopKTraced(sub, k, obs.SpanContext{})
+}
+
+// TopKTraced is TopK under a caller-provided span context (see
+// InstancesTraced for the span shape).
+func (c *Coordinator) TopKTraced(sub string, k int, parent obs.SpanContext) ([]*stream.Detection, Gather, error) {
+	root := c.spanIf("query.topk", parent, obs.L("sub", sub))
+	defer root.End()
 	if sub != "" {
 		m, err := c.ownerOf(sub)
 		if err != nil {
+			endSpanErr(root, err)
 			return nil, Gather{}, err
 		}
+		sp := c.spanIf("query.shard", root.Context(), obs.L("member", m.ID()))
 		var r QueryResult
 		if err := c.retry(func() error {
 			var e error
-			r, e = m.TopK(sub, k)
+			r, e = memberTopK(m, sub, k, sp.Context())
 			return e
 		}); err != nil {
+			endSpanErr(sp, err)
+			endSpanErr(root, err)
 			return nil, Gather{}, err
 		}
+		sp.End()
 		return r.Detections, Gather{Watermark: r.Watermark, Started: r.Started, Degraded: c.degraded()}, nil
 	}
-	results, dropped, err := c.gather(func(m Member) (QueryResult, error) { return m.TopK("", k) })
+	results, dropped, err := c.gather(root.Context(), func(m Member, sc obs.SpanContext) (QueryResult, error) {
+		return memberTopK(m, "", k, sc)
+	})
 	if err != nil {
+		endSpanErr(root, err)
 		return nil, Gather{}, err
 	}
 	alignedW, started, lists := alignWatermark(results)
@@ -842,7 +907,7 @@ func (c *Coordinator) ownerOf(sub string) (Member, error) {
 // stalling on a flapping shard. Only a gather nobody answers is an error.
 // Queries never mutate membership; repair belongs to the replication
 // pipeline's reap.
-func (c *Coordinator) gather(q func(Member) (QueryResult, error)) ([]QueryResult, int, error) {
+func (c *Coordinator) gather(parent obs.SpanContext, q func(Member, obs.SpanContext) (QueryResult, error)) ([]QueryResult, int, error) {
 	c.mu.Lock()
 	members := make([]Member, 0, len(c.members))
 	dropped := 0
@@ -864,11 +929,16 @@ func (c *Coordinator) gather(q func(Member) (QueryResult, error)) ([]QueryResult
 		wg.Add(1)
 		go func(i int, m Member) {
 			defer wg.Done()
+			sp := c.spanIf("query.shard", parent, obs.L("member", m.ID()))
 			errs[i] = c.retry(func() error {
 				var e error
-				results[i], e = q(m)
+				results[i], e = q(m, sp.Context())
 				return e
 			})
+			if errs[i] != nil {
+				sp.Annotate(obs.L("error", errs[i].Error()))
+			}
+			sp.End()
 		}(i, m)
 	}
 	wg.Wait()
@@ -996,6 +1066,15 @@ type ClusterStats struct {
 // probe are reported with Started=false and Lag −1 rather than failing the
 // whole snapshot.
 func (c *Coordinator) Stats() ClusterStats {
+	return c.StatsTraced(obs.SpanContext{})
+}
+
+// StatsTraced is Stats under a caller-provided span context: the
+// per-member probes become "query.shard" spans under a "query.stats"
+// span, each shard's context propagated over the traced transport.
+func (c *Coordinator) StatsTraced(parent obs.SpanContext) ClusterStats {
+	root := c.spanIf("query.stats", parent)
+	defer root.End()
 	c.mu.Lock()
 	ids := c.memberIDsLocked()
 	ms := make([]Member, len(ids))
@@ -1046,7 +1125,8 @@ func (c *Coordinator) Stats() ClusterStats {
 		info := repl[i]
 		info.ID = ids[i]
 		info.Lag = -1
-		if s, err := m.Stats(); err == nil {
+		sp := c.spanIf("query.shard", root.Context(), obs.L("member", ids[i]))
+		if s, err := memberStats(m, sp.Context()); err == nil {
 			info.Subs = s.Subs
 			info.Watermark = s.Watermark
 			info.Started = s.Started
@@ -1062,7 +1142,73 @@ func (c *Coordinator) Stats() ClusterStats {
 				info.Lag = st.Watermark - s.Watermark
 			}
 		}
+		sp.End()
 		st.Members = append(st.Members, info)
 	}
 	return st
+}
+
+// spanIf starts a child span only under a real parent context: the
+// coordinator's query spans exist only inside a request trace, never as
+// roots of their own (the pipeline's ingest.append is the only span the
+// coordinator roots itself).
+func (c *Coordinator) spanIf(name string, parent obs.SpanContext, attrs ...obs.Label) *obs.TraceSpan {
+	if !parent.Valid() {
+		return nil
+	}
+	return c.tracer.StartSpan(name, parent, attrs...)
+}
+
+// endSpanErr annotates a span with the error and closes it (nil-safe).
+func endSpanErr(s *obs.TraceSpan, err error) {
+	if s == nil {
+		return
+	}
+	s.Annotate(obs.L("error", err.Error()))
+	s.End()
+}
+
+// Tracer returns the coordinator's flight recorder (the one from
+// Config.Tracer, or the private one created in New).
+func (c *Coordinator) Tracer() *obs.Tracer {
+	return c.tracer
+}
+
+// Traces stitches the full span set for one trace ID: the coordinator's
+// own spans (append, deliveries, query fan-out) plus every member's
+// fragments (request, engine ingest, finalize stages, emit), fetched by
+// trace ID, deduplicated by span ID, and sorted by start time. Members
+// that fail the probe (down, or no /debug/traces endpoint) contribute
+// nothing rather than failing the stitch.
+func (c *Coordinator) Traces(trace string) []obs.SpanRecord {
+	spans := c.tracer.Spans(trace)
+	if trace == "" {
+		return spans
+	}
+	seen := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		seen[s.Span] = true
+	}
+	c.mu.Lock()
+	members := make([]Member, 0, len(c.members))
+	for _, id := range c.memberIDsLocked() {
+		if ms := c.members[id]; !ms.failed {
+			members = append(members, ms.m)
+		}
+	}
+	c.mu.Unlock()
+	for _, m := range members {
+		frag, err := m.Traces(trace)
+		if err != nil {
+			continue
+		}
+		for _, s := range frag {
+			if !seen[s.Span] {
+				seen[s.Span] = true
+				spans = append(spans, s)
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans
 }

@@ -51,6 +51,13 @@ type wireEvent struct {
 }
 
 func (m *HTTPMember) do(method, path string, body, out interface{}) error {
+	return m.doTraced(method, path, body, out, "")
+}
+
+// doTraced is do with W3C trace propagation: a non-empty traceparent
+// travels as the request header of the same name, so the member daemon's
+// request span joins the caller's trace.
+func (m *HTTPMember) doTraced(method, path string, body, out interface{}, traceparent string) error {
 	var rd io.Reader
 	if body != nil {
 		payload, err := json.Marshal(body)
@@ -65,6 +72,9 @@ func (m *HTTPMember) do(method, path string, body, out interface{}) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
 	}
 	resp, err := m.client.Do(req)
 	if err != nil {
@@ -122,7 +132,7 @@ func (m *HTTPMember) Ingest(b Batch) (IngestAck, error) {
 		body["seq"] = b.Seq
 	}
 	var ack IngestAck
-	err := m.do(http.MethodPost, "/ingest", body, &ack)
+	err := m.doTraced(http.MethodPost, "/ingest", body, &ack, b.Traceparent)
 	return ack, err
 }
 
@@ -154,9 +164,15 @@ type queryResponse struct {
 
 // Instances implements Member.
 func (m *HTTPMember) Instances(sub string, limit int) (QueryResult, error) {
+	return m.InstancesTraced(sub, limit, obs.SpanContext{})
+}
+
+// InstancesTraced implements tracedQuerier: the coordinator's per-shard
+// span context rides the traceparent header.
+func (m *HTTPMember) InstancesTraced(sub string, limit int, sc obs.SpanContext) (QueryResult, error) {
 	var resp queryResponse
 	path := "/instances?limit=" + strconv.Itoa(limit) + "&sub=" + url.QueryEscape(sub)
-	if err := m.do(http.MethodGet, path, nil, &resp); err != nil {
+	if err := m.doTraced(http.MethodGet, path, nil, &resp, traceparentOf(sc)); err != nil {
 		return QueryResult{}, err
 	}
 	return QueryResult{Watermark: resp.Watermark, Started: resp.Started, Detections: resp.Instances}, nil
@@ -164,6 +180,11 @@ func (m *HTTPMember) Instances(sub string, limit int) (QueryResult, error) {
 
 // TopK implements Member.
 func (m *HTTPMember) TopK(sub string, k int) (QueryResult, error) {
+	return m.TopKTraced(sub, k, obs.SpanContext{})
+}
+
+// TopKTraced implements tracedQuerier.
+func (m *HTTPMember) TopKTraced(sub string, k int, sc obs.SpanContext) (QueryResult, error) {
 	var resp queryResponse
 	var path string
 	if sub == "" {
@@ -171,10 +192,19 @@ func (m *HTTPMember) TopK(sub string, k int) (QueryResult, error) {
 	} else {
 		path = "/topk?k=" + strconv.Itoa(k) + "&sub=" + url.QueryEscape(sub)
 	}
-	if err := m.do(http.MethodGet, path, nil, &resp); err != nil {
+	if err := m.doTraced(http.MethodGet, path, nil, &resp, traceparentOf(sc)); err != nil {
 		return QueryResult{}, err
 	}
 	return QueryResult{Watermark: resp.Watermark, Started: resp.Started, Detections: resp.Instances}, nil
+}
+
+// traceparentOf renders a span context as a traceparent header value
+// ("" for the zero context, meaning no propagation).
+func traceparentOf(sc obs.SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.Traceparent()
 }
 
 // statsResponse picks the member-relevant subset of GET /stats.
@@ -200,8 +230,13 @@ type statsResponse struct {
 
 // Stats implements Member.
 func (m *HTTPMember) Stats() (MemberStats, error) {
+	return m.StatsTraced(obs.SpanContext{})
+}
+
+// StatsTraced implements tracedQuerier.
+func (m *HTTPMember) StatsTraced(sc obs.SpanContext) (MemberStats, error) {
 	var resp statsResponse
-	if err := m.do(http.MethodGet, "/stats", nil, &resp); err != nil {
+	if err := m.doTraced(http.MethodGet, "/stats", nil, &resp, traceparentOf(sc)); err != nil {
 		return MemberStats{}, err
 	}
 	out := MemberStats{
@@ -221,4 +256,17 @@ func (m *HTTPMember) Stats() (MemberStats, error) {
 	}
 	out.Metrics = resp.Metrics
 	return out, nil
+}
+
+// Traces implements Member: the member daemon's flight-recorder spans
+// for one trace, fetched from its GET /debug/traces?trace= endpoint.
+func (m *HTTPMember) Traces(trace string) ([]obs.SpanRecord, error) {
+	var resp struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	path := "/debug/traces?trace=" + url.QueryEscape(trace)
+	if err := m.do(http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
 }

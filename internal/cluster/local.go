@@ -170,7 +170,8 @@ func (m *LocalMember) Ingest(b Batch) (IngestAck, error) {
 		ack.Dup = true
 		return ack, nil
 	}
-	ack, err := m.eng.IngestWithAck(b.Events)
+	parent, _ := obs.ParseTraceparent(b.Traceparent)
+	ack, err := m.eng.IngestTraced(b.Events, parent)
 	if err != nil {
 		if errors.Is(err, stream.ErrFailStopped) {
 			// The engine poisoned itself (partial batch append): surface the
@@ -193,7 +194,7 @@ func (m *LocalMember) Ingest(b Batch) (IngestAck, error) {
 			return IngestAck{}, fmt.Errorf("%w: %s: wal append: %v", ErrMemberDown, m.id, perr)
 		}
 	}
-	out := IngestAck{Ingested: ack.Ingested, Watermark: ack.Watermark, Detections: ack.Detections, Seq: b.Seq}
+	out := IngestAck{Ingested: ack.Ingested, Watermark: ack.Watermark, Detections: ack.Detections, Seq: b.Seq, Trace: ack.Trace}
 	if b.Seq != 0 {
 		m.lastSeq = b.Seq
 		m.lastAck = out
@@ -296,6 +297,15 @@ func (m *LocalMember) Stats() (MemberStats, error) {
 	}
 	out.Metrics = m.eng.Obs().Snapshot()
 	return out, nil
+}
+
+// Traces implements Member: the member's flight-recorder spans for one
+// trace, straight from the engine's tracer.
+func (m *LocalMember) Traces(trace string) ([]obs.SpanRecord, error) {
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	return m.eng.Tracer().Spans(trace), nil
 }
 
 // Engine exposes the member's engine (tests and demos).

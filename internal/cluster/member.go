@@ -112,6 +112,11 @@ type Handoff struct {
 type Batch struct {
 	Seq    int64            `json:"seq,omitempty"`
 	Events []temporal.Event `json:"events"`
+	// Traceparent carries the delivering replicator's span context (W3C
+	// traceparent form) so the member's ingest spans join the batch's
+	// coordinator trace. Empty when tracing is off. The HTTP transport
+	// moves it as the traceparent request header, not a body field.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // IngestAck acknowledges an ingest or flush: what was applied, the new
@@ -126,6 +131,11 @@ type IngestAck struct {
 	Detections int64 `json:"detections"`
 	Seq        int64 `json:"seq,omitempty"`
 	Dup        bool  `json:"dup,omitempty"`
+	// Trace is the batch's trace ID: the key into /debug/traces (and the
+	// flight recorder) for the span tree that follows this batch from
+	// append through replication to detection emit. Empty when tracing is
+	// off or the batch was a duplicate no-op.
+	Trace string `json:"trace,omitempty"`
 }
 
 // QueryResult is one member's contribution to a scatter-gather query,
@@ -184,4 +194,48 @@ type Member interface {
 	TopK(sub string, k int) (QueryResult, error)
 	// Stats snapshots member progress.
 	Stats() (MemberStats, error)
+	// Traces returns the member's recorded spans for one trace ID (empty
+	// when the member's flight recorder no longer holds it). The
+	// coordinator stitches these member-side fragments onto its own spans
+	// for /debug/traces.
+	Traces(trace string) ([]obs.SpanRecord, error)
+}
+
+// tracedQuerier is the optional transport capability of propagating a
+// query's span context to the member (the HTTP transport sends it as the
+// traceparent header so the member's request span joins the
+// coordinator's query trace). The coordinator type-asserts and falls
+// back to the plain Member calls; LocalMember needs no propagation — the
+// coordinator-side shard span already covers the in-process call.
+type tracedQuerier interface {
+	InstancesTraced(sub string, limit int, sc obs.SpanContext) (QueryResult, error)
+	TopKTraced(sub string, k int, sc obs.SpanContext) (QueryResult, error)
+	StatsTraced(sc obs.SpanContext) (MemberStats, error)
+}
+
+// memberInstances routes an Instances call through the traced transport
+// when the member supports it and sc is a real span context.
+func memberInstances(m Member, sub string, limit int, sc obs.SpanContext) (QueryResult, error) {
+	if tq, ok := m.(tracedQuerier); ok && sc.Valid() {
+		return tq.InstancesTraced(sub, limit, sc)
+	}
+	return m.Instances(sub, limit)
+}
+
+// memberTopK routes a TopK call through the traced transport when
+// available.
+func memberTopK(m Member, sub string, k int, sc obs.SpanContext) (QueryResult, error) {
+	if tq, ok := m.(tracedQuerier); ok && sc.Valid() {
+		return tq.TopKTraced(sub, k, sc)
+	}
+	return m.TopK(sub, k)
+}
+
+// memberStats routes a Stats call through the traced transport when
+// available.
+func memberStats(m Member, sc obs.SpanContext) (MemberStats, error) {
+	if tq, ok := m.(tracedQuerier); ok && sc.Valid() {
+		return tq.StatsTraced(sc)
+	}
+	return m.Stats()
 }

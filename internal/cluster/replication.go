@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
+	"flowmotif/internal/obs"
 	"flowmotif/internal/temporal"
 )
 
@@ -31,6 +33,10 @@ type logEntry struct {
 	// appendedAt is the wall-clock of the log append, the baseline of the
 	// per-member append→ack replication-lag histogram.
 	appendedAt time.Time
+	// sc is the batch's "ingest.append" span context: replication
+	// deliveries parent their spans on it and forward it to the member
+	// (Batch.Traceparent), so member-side spans join the batch trace.
+	sc obs.SpanContext
 }
 
 // entryLocked returns the log entry with the given sequence number. The
@@ -97,12 +103,26 @@ func (c *Coordinator) replicate(ms *memberState) {
 			n += len(next.events)
 			seq++
 		}
+		// The delivery span parents on the *newest* coalesced entry's
+		// append span (a backlog folds several batch traces into one call;
+		// the older entries keep their coordinator-side spans but their
+		// member-side subtree lands under the newest trace — see DESIGN.md
+		// §13). Read under mu: the log may be trimmed once released.
+		parent := c.entryLocked(seq).sc
 		c.mu.Unlock()
 
 		c.mxCoalesce.Observe(float64(n))
-		sp := c.mxDeliver.Start()
-		ack, err := c.deliver(ms, Batch{Seq: seq, Events: evs})
-		sp.End()
+		dsp := c.spanIf("replicate.deliver", parent,
+			obs.L("member", ms.m.ID()),
+			obs.L("seq", strconv.FormatInt(seq, 10)),
+			obs.L("events", strconv.Itoa(n)))
+		t0 := time.Now()
+		ack, err := c.deliver(ms, Batch{Seq: seq, Events: evs, Traceparent: traceparentOf(dsp.Context())})
+		c.mxDeliver.ObserveExemplar(time.Since(t0).Seconds(), parent.Trace)
+		if err != nil {
+			dsp.Annotate(obs.L("error", err.Error()))
+		}
+		dsp.End()
 		now := time.Now()
 
 		c.mu.Lock()
@@ -124,7 +144,8 @@ func (c *Coordinator) replicate(ms *memberState) {
 		// The acked entries are still in the log: trimming needs every live
 		// member past them, and this member's own ack only lands below.
 		for s := first; s <= seq; s++ {
-			c.mxReplLag.Observe(now.Sub(c.entryLocked(s).appendedAt).Seconds())
+			e := c.entryLocked(s)
+			c.mxReplLag.ObserveExemplar(now.Sub(e.appendedAt).Seconds(), e.sc.Trace)
 		}
 		ms.ackedSeq = seq
 		ms.ackedW = ack.Watermark

@@ -104,7 +104,22 @@ type Histogram struct {
 	bounds  []float64 // strictly increasing, finite
 	counts  []atomic.Uint64
 	sumBits atomic.Uint64
+	ex      atomic.Pointer[Exemplar]
 }
+
+// Exemplar links a histogram to one concrete traced observation, so a
+// Prometheus quantile can be walked back to a span tree in
+// /debug/traces. The slot keeps the worst (highest-valued) recent
+// observation: a new exemplar replaces the old one when its value is at
+// least as large, or when the old one has aged out (exemplarMaxAge) —
+// slow-trace biased, but never pinned forever.
+type Exemplar struct {
+	Value    float64 `json:"value"`
+	Trace    string  `json:"trace"`
+	UnixNano int64   `json:"unix_nano"`
+}
+
+const exemplarMaxAge = time.Minute
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
@@ -126,6 +141,29 @@ func (h *Histogram) Observe(v float64) {
 func (h *Histogram) ObserveDuration(d time.Duration) {
 	if h != nil {
 		h.Observe(d.Seconds())
+	}
+}
+
+// ObserveExemplar records v and offers (v, trace) as the histogram's
+// exemplar (see Exemplar for the replacement policy). An empty trace
+// degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if trace == "" {
+		return
+	}
+	now := time.Now().UnixNano()
+	for {
+		old := h.ex.Load()
+		if old != nil && v < old.Value && now-old.UnixNano < int64(exemplarMaxAge) {
+			return
+		}
+		if h.ex.CompareAndSwap(old, &Exemplar{Value: v, Trace: trace, UnixNano: now}) {
+			return
+		}
 	}
 }
 
@@ -156,6 +194,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 		s.Count += s.Counts[i]
+	}
+	if ex := h.ex.Load(); ex != nil {
+		cp := *ex
+		s.Exemplar = &cp
 	}
 	return s
 }
@@ -417,6 +459,9 @@ type HistogramSnapshot struct {
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Exemplar, when present, links the histogram to one concrete traced
+	// observation (see Exemplar).
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by locating the bucket
@@ -462,6 +507,7 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
 		s.Counts = append([]uint64(nil), o.Counts...)
 		s.Count = o.Count
 		s.Sum = o.Sum
+		s.Exemplar = o.Exemplar
 		return nil
 	}
 	if !equalBounds(s.Bounds, o.Bounds) || len(s.Counts) != len(o.Counts) {
@@ -472,6 +518,9 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
 	}
 	s.Count += o.Count
 	s.Sum += o.Sum
+	if o.Exemplar != nil && (s.Exemplar == nil || o.Exemplar.Value > s.Exemplar.Value) {
+		s.Exemplar = o.Exemplar
+	}
 	return nil
 }
 

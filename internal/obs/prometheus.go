@@ -86,8 +86,20 @@ func writeSeries(w io.Writer, m MetricSnapshot) error {
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelSet(m.Labels, "", 0), formatValue(h.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelSet(m.Labels, "", 0), h.Count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelSet(m.Labels, "", 0), h.Count); err != nil {
+		return err
+	}
+	// The 0.0.4 text format has no exemplar syntax (that is OpenMetrics),
+	// so the exemplar rides as a free-form comment — ignored by parsers
+	// (including ParseExposition), read by humans chasing a quantile to a
+	// concrete trace in /debug/traces.
+	if h.Exemplar != nil && h.Exemplar.Trace != "" {
+		if _, err := fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%s value=%s\n",
+			m.Name, labelSet(m.Labels, "", 0), h.Exemplar.Trace, formatValue(h.Exemplar.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // labelSet renders `{k="v",...}` (empty string when there are no labels),

@@ -1,0 +1,65 @@
+// runtime.go collects Go runtime telemetry (goroutines, heap, GC
+// pauses) and the build-info gauge into MetricSnapshots appended to a
+// server's exposition — read on scrape, not on the hot path.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Version is the flowmotif build version reported by
+// flowmotif_build_info and `flowmotifd -version`. Overridable at link
+// time (-ldflags "-X flowmotif/internal/obs.Version=...").
+var Version = "0.7.0"
+
+// RuntimeStats collects Go runtime telemetry on demand: goroutine and
+// heap gauges read fresh per call, plus a cumulative GC pause histogram
+// fed from runtime.MemStats' pause ring (each pause observed exactly
+// once across calls, as long as calls are less than 256 GCs apart).
+type RuntimeStats struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+// NewRuntimeStats returns a collector with an empty GC pause histogram.
+func NewRuntimeStats() *RuntimeStats {
+	return &RuntimeStats{
+		pauses: &Histogram{bounds: LatencyBuckets, counts: make([]atomic.Uint64, len(LatencyBuckets)+1)},
+	}
+}
+
+// Collect reads the runtime and returns the snapshot set: go_goroutines,
+// go_heap_alloc_bytes, go_gc_pause_seconds, and
+// flowmotif_build_info{version,go} (constant 1).
+func (r *RuntimeStats) Collect() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.mu.Lock()
+	// Feed pauses recorded since the last call. PauseNs is a ring of the
+	// last 256 pause durations; index (NumGC+255)%256 holds the most
+	// recent. If more than 256 GCs elapsed between calls the overwritten
+	// ones are lost (accepted: scrapes are far more frequent than that).
+	from := r.lastNumGC
+	if ms.NumGC > from+256 {
+		from = ms.NumGC - 256
+	}
+	for i := from; i < ms.NumGC; i++ {
+		r.pauses.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e9)
+	}
+	r.lastNumGC = ms.NumGC
+	pauseSnap := r.pauses.Snapshot()
+	r.mu.Unlock()
+	return []MetricSnapshot{
+		{Name: "go_goroutines", Help: "Number of live goroutines.", Kind: KindGauge, Value: float64(runtime.NumGoroutine())},
+		{Name: "go_heap_alloc_bytes", Help: "Bytes of allocated heap objects.", Kind: KindGauge, Value: float64(ms.HeapAlloc)},
+		{Name: "go_gc_pause_seconds", Help: "GC stop-the-world pause durations.", Kind: KindHistogram, Hist: &pauseSnap},
+		{Name: "flowmotif_build_info", Help: "Build metadata; constant 1.", Kind: KindGauge, Value: 1,
+			Labels: []Label{{Key: "go", Value: runtime.Version()}, {Key: "version", Value: Version}}},
+	}
+}

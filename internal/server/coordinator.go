@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync/atomic"
@@ -39,22 +40,49 @@ type Coordinator struct {
 	maxBody int64
 	started time.Time
 	reqs    atomic.Int64
+	runtime *obs.RuntimeStats
+	ro      requestObs
 	// query latency accounting for GET /metrics, keyed by endpoint.
 	eps map[string]*endpointMetrics
+}
+
+// CoordinatorConfig parameterizes the HTTP serving wrapper around a
+// cluster coordinator. The metrics registry and trace flight recorder
+// come from the coordinator itself (cluster.Config), not from here.
+type CoordinatorConfig struct {
+	// MaxBodyBytes bounds POST bodies (<= 0: 32 MiB default).
+	MaxBodyBytes int64
+	// Logger receives slow-request warnings; nil disables them.
+	Logger *slog.Logger
+	// SlowRequest tail-samples slow HTTP requests: a request slower than
+	// this retains its trace in the flight recorder and logs a warning
+	// carrying the trace ID (0: off).
+	SlowRequest time.Duration
 }
 
 // NewCoordinator wraps a cluster coordinator for HTTP serving.
 // maxBodyBytes bounds POST bodies (<= 0: 32 MiB default).
 func NewCoordinator(c *cluster.Coordinator, maxBodyBytes int64) *Coordinator {
-	if maxBodyBytes <= 0 {
-		maxBodyBytes = 32 << 20
+	return NewCoordinatorWith(c, CoordinatorConfig{MaxBodyBytes: maxBodyBytes})
+}
+
+// NewCoordinatorWith is NewCoordinator with the full serving config
+// (slow-request tail sampling and its logger).
+func NewCoordinatorWith(c *cluster.Coordinator, cfg CoordinatorConfig) *Coordinator {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
 	}
-	return &Coordinator{
+	cs := &Coordinator{
 		c:       c,
-		maxBody: maxBodyBytes,
+		maxBody: cfg.MaxBodyBytes,
 		started: time.Now(),
+		ro:      requestObs{reg: c.Obs(), tracer: c.Tracer(), slow: cfg.SlowRequest, logger: cfg.Logger},
 		eps:     map[string]*endpointMetrics{},
 	}
+	if c.Obs() != nil {
+		cs.runtime = obs.NewRuntimeStats()
+	}
+	return cs
 }
 
 // Cluster returns the wrapped coordinator.
@@ -71,6 +99,7 @@ func (cs *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/stats", cs.count("stats", cs.handleStats))
 	mux.HandleFunc("/metrics", cs.count("metrics", cs.handleMetrics))
 	mux.HandleFunc("/healthz", cs.count("healthz", cs.handleHealthz))
+	mux.HandleFunc("/debug/traces", cs.count("debug.traces", cs.handleTraces))
 	mux.HandleFunc("/members/add", cs.count("members.add", cs.handleMemberAdd))
 	mux.HandleFunc("/members/remove", cs.count("members.remove", cs.handleMemberRemove))
 	mux.HandleFunc("/members/fail", cs.count("members.fail", cs.handleMemberFail))
@@ -82,7 +111,15 @@ func (cs *Coordinator) count(name string, h http.HandlerFunc) http.HandlerFunc {
 	cs.eps[name] = m
 	// Request histograms land in the cluster coordinator's registry, next
 	// to the replication-pipeline instruments.
-	return countRequests(cs.c.Obs(), &cs.reqs, m, name, h)
+	return cs.ro.wrap(&cs.reqs, m, name, h)
+}
+
+// handleTraces serves GET /debug/traces. The per-trace fetch goes through
+// the cluster coordinator's stitcher, so one batch's tree spans the
+// coordinator append, every member's replication delivery, and the
+// member-side finalize/emit stages.
+func (cs *Coordinator) handleTraces(w http.ResponseWriter, r *http.Request) {
+	serveTraces(w, r, cs.c.Tracer(), cs.c.Traces)
 }
 
 // writeClusterErr maps coordinator errors onto the API's status codes.
@@ -112,7 +149,7 @@ func (cs *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i, e := range req.Events {
 		evs[i] = temporal.Event{From: e.From, To: e.To, T: e.T, F: e.F}
 	}
-	ack, err := cs.c.Ingest(evs)
+	ack, err := cs.c.IngestTraced(evs, requestSpan(r).Context())
 	if err != nil {
 		writeClusterErr(w, err)
 		return
@@ -120,12 +157,15 @@ func (cs *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Pipelined ack: the batch is appended to the replication log and
 	// will be applied by every shard asynchronously; seq is its log
 	// position and detections finalize later (GET /stats, /metrics).
+	// trace keys the batch's stitched span tree in GET /debug/traces once
+	// the shards apply it.
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Ingested:   ack.Ingested,
 		Watermark:  ack.Watermark,
 		Detections: ack.Detections,
 		Seq:        ack.Seq,
 		Pipelined:  true,
+		Trace:      ack.Trace,
 	})
 }
 
@@ -155,7 +195,7 @@ func (cs *Coordinator) handleInstances(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ds, g, err := cs.c.Instances(r.URL.Query().Get("sub"), limit)
+	ds, g, err := cs.c.InstancesTraced(r.URL.Query().Get("sub"), limit, requestSpan(r).Context())
 	if err != nil {
 		writeClusterErr(w, err)
 		return
@@ -180,7 +220,7 @@ func (cs *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sub := r.URL.Query().Get("sub")
-	ds, g, err := cs.c.TopK(sub, k)
+	ds, g, err := cs.c.TopKTraced(sub, k, requestSpan(r).Context())
 	if err != nil {
 		writeClusterErr(w, err)
 		return
@@ -236,7 +276,7 @@ func (cs *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"cluster":       cs.c.Stats(),
+		"cluster":       cs.c.StatsTraced(requestSpan(r).Context()),
 		"uptimeSeconds": time.Since(cs.started).Seconds(),
 		"httpRequests":  cs.reqs.Load(),
 	})
@@ -306,6 +346,9 @@ func (cs *Coordinator) prometheusSnapshots() []obs.MetricSnapshot {
 	st := cs.c.Stats()
 	acc := obs.NewAccum()
 	acc.Add(cs.c.Obs().Snapshot())
+	if cs.runtime != nil {
+		acc.Add(cs.runtime.Collect())
+	}
 	for _, m := range st.Members {
 		acc.Add(m.Metrics, obs.L("member", m.ID))
 	}

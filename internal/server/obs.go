@@ -1,18 +1,29 @@
 package server
 
 import (
+	"context"
+	"errors"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"flowmotif/internal/obs"
 )
 
+var (
+	errGetRequired     = errors.New("GET required")
+	errTracingDisabled = errors.New("tracing disabled")
+)
+
 // This file is the serving layer's observability plumbing, shared by the
 // single-engine Server and the cluster Coordinator: a status-capturing
 // ResponseWriter so request counts split by response class, per-endpoint
-// latency histograms (flowmotif_http_request_seconds{endpoint,code}), and
-// the helpers that render them into the flat JSON metric map and the
+// latency histograms (flowmotif_http_request_seconds{endpoint,code}), the
+// per-request trace span ("http.<endpoint>", continuing an incoming W3C
+// traceparent or rooting a new trace), slow-request tail sampling, and
+// the helpers that render metrics into the flat JSON map and the
 // Prometheus exposition.
 
 // statusWriter records the response status the handler committed, so the
@@ -69,14 +80,49 @@ type endpointMetrics struct {
 
 const httpHistHelp = "HTTP request latency by endpoint and response class."
 
-// countRequests wraps a handler with the shared request accounting: total
-// and per-class counts into m, latency into the registry's per-(endpoint,
-// code-class) histogram. Class histograms register lazily on first use, so
-// an endpoint that never errors never grows 4xx/5xx series.
-func countRequests(reg *obs.Registry, reqs *atomic.Int64, m *endpointMetrics, name string, h http.HandlerFunc) http.HandlerFunc {
+// spanKey keys the request's trace span in the request context; handlers
+// fetch it with requestSpan to parent their own spans (engine ingest,
+// cluster scatter-gather) onto the request.
+type spanKey struct{}
+
+// requestSpan returns the request's "http.<endpoint>" span, or nil when
+// tracing is off (every obs span operation is nil-safe).
+func requestSpan(r *http.Request) *obs.TraceSpan {
+	sp, _ := r.Context().Value(spanKey{}).(*obs.TraceSpan)
+	return sp
+}
+
+// requestObs bundles what the request-accounting middleware needs beyond
+// the per-endpoint counters: the metrics registry, the trace flight
+// recorder, and the slow-request tail-sampling policy. Shared by the
+// single-engine Server and the cluster Coordinator.
+type requestObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	slow   time.Duration // retain + warn when a request exceeds this (0: off)
+	logger *slog.Logger
+}
+
+// wrap decorates a handler with the shared request accounting: total and
+// per-class counts into m, latency into the registry's per-(endpoint,
+// code-class) histogram (with the request's trace as exemplar), and one
+// "http.<endpoint>" span per request — continuing the caller's
+// traceparent header when present, rooting a fresh trace otherwise. A
+// request slower than o.slow is tail-sampled: its trace is retained in
+// the flight recorder and a warning logs the same trace ID that keys
+// /debug/traces and the histogram exemplar. Class histograms register
+// lazily on first use, so an endpoint that never errors never grows
+// 4xx/5xx series.
+func (o requestObs) wrap(reqs *atomic.Int64, m *endpointMetrics, name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
+		var sp *obs.TraceSpan
+		if o.tracer != nil {
+			parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+			sp = o.tracer.StartSpan("http."+name, parent, obs.L("method", r.Method))
+			r = r.WithContext(context.WithValue(r.Context(), spanKey{}, sp))
+		}
 		start := time.Now()
 		h(sw, r)
 		d := time.Since(start)
@@ -98,9 +144,27 @@ func countRequests(reg *obs.Registry, reqs *atomic.Int64, m *endpointMetrics, na
 		default:
 			m.cOther.Add(1)
 		}
-		if reg != nil {
-			reg.Histogram("flowmotif_http_request_seconds", httpHistHelp, nil,
-				obs.L("endpoint", name), obs.L("code", codeClass(code))).Observe(d.Seconds())
+		trace := sp.Context().Trace
+		sp.Annotate(obs.L("code", strconv.Itoa(code)))
+		sp.End()
+		if o.slow > 0 && d > o.slow && sp != nil {
+			o.tracer.Retain(trace)
+			if o.logger != nil {
+				o.logger.Warn("slow request",
+					slog.String("endpoint", name),
+					slog.Duration("total", d),
+					slog.Int("code", code),
+					slog.String("trace", trace))
+			}
+		}
+		if o.reg != nil {
+			hist := o.reg.Histogram("flowmotif_http_request_seconds", httpHistHelp, nil,
+				obs.L("endpoint", name), obs.L("code", codeClass(code)))
+			if trace != "" {
+				hist.ObserveExemplar(d.Seconds(), trace)
+			} else {
+				hist.Observe(d.Seconds())
+			}
 		}
 	}
 }
@@ -181,4 +245,52 @@ func writePrometheusResponse(w http.ResponseWriter, snaps []obs.MetricSnapshot) 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = obs.WritePrometheus(w, snaps)
+}
+
+// maxTraceLimit caps GET /debug/traces responses: the flight recorder
+// retains thousands of spans, and an unbounded listing would ship them
+// all to a curious client.
+const maxTraceLimit = 500
+
+// serveTraces answers GET /debug/traces for both server roles. Without
+// parameters it lists recent trace summaries (?limit=N, default 50,
+// capped; ?slowest=1 ranks by root-span duration instead of recency).
+// With ?trace=<id> it returns that trace's spans — via fetch, which the
+// coordinator points at its cross-member stitcher — plus the assembled
+// span tree.
+func serveTraces(w http.ResponseWriter, r *http.Request, tracer *obs.Tracer, fetch func(string) []obs.SpanRecord) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errGetRequired)
+		return
+	}
+	if tracer == nil {
+		writeErr(w, http.StatusNotFound, errTracingDisabled)
+		return
+	}
+	if trace := r.URL.Query().Get("trace"); trace != "" {
+		spans := fetch(trace)
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"trace": trace,
+			"count": len(spans),
+			"spans": spans,
+			"tree":  obs.BuildSpanTree(spans),
+		})
+		return
+	}
+	limit, err := intParam(r, "limit", 50)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if limit > maxTraceLimit {
+		limit = maxTraceLimit
+	}
+	slowest := r.URL.Query().Get("slowest") != ""
+	sums := tracer.Summaries(limit, slowest)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"total":   tracer.Total(),
+		"count":   len(sums),
+		"slowest": slowest,
+		"traces":  sums,
+	})
 }

@@ -111,6 +111,14 @@ type Config struct {
 	// SlowRound is the engine's slow-finalize-round warning threshold
 	// (0: no warnings). Requires Logger.
 	SlowRound time.Duration
+	// Tracer is the trace flight recorder the server and its engine
+	// record spans into; nil (and DisableObs false) creates one, served
+	// by GET /debug/traces. DisableObs disables tracing entirely.
+	Tracer *obs.Tracer
+	// SlowRequest tail-samples slow HTTP requests: a request slower than
+	// this retains its trace in the flight recorder and logs a warning
+	// carrying the trace ID (0: off).
+	SlowRequest time.Duration
 }
 
 // RecoveryStats reports what New rebuilt from a data dir.
@@ -142,7 +150,10 @@ type Server struct {
 	maxBody   int64
 	started   time.Time
 	reqs      atomic.Int64
-	obsReg    *obs.Registry // nil with Config.DisableObs
+	obsReg    *obs.Registry     // nil with Config.DisableObs
+	tracer    *obs.Tracer       // nil with Config.DisableObs
+	runtime   *obs.RuntimeStats // nil with Config.DisableObs
+	ro        requestObs
 
 	// subMu guards subIDs, which cluster handoffs mutate at runtime.
 	subMu  sync.RWMutex
@@ -202,10 +213,17 @@ func New(cfg Config) (*Server, error) {
 	// together, so one scrape (or one /stats metrics payload for cluster
 	// transport) covers the whole pipeline.
 	reg := cfg.Obs
+	tracer := cfg.Tracer
 	if cfg.DisableObs {
 		reg = nil
-	} else if reg == nil {
-		reg = obs.NewRegistry()
+		tracer = nil
+	} else {
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		if tracer == nil {
+			tracer = obs.NewTracer(0)
+		}
 	}
 	s := &Server{
 		recent:  stream.NewMemorySink(cfg.Recent),
@@ -214,8 +232,13 @@ func New(cfg Config) (*Server, error) {
 		maxBody: cfg.MaxBodyBytes,
 		started: time.Now(),
 		obsReg:  reg,
+		tracer:  tracer,
+		ro:      requestObs{reg: reg, tracer: tracer, slow: cfg.SlowRequest, logger: cfg.Logger},
 		subIDs:  map[string]bool{},
 		eps:     map[string]*endpointMetrics{},
+	}
+	if !cfg.DisableObs {
+		s.runtime = obs.NewRuntimeStats()
 	}
 	eng, err := stream.NewEngine(stream.Config{
 		Subs:       cfg.Subs,
@@ -225,6 +248,7 @@ func New(cfg Config) (*Server, error) {
 		DisableObs: cfg.DisableObs,
 		Logger:     cfg.Logger,
 		SlowRound:  cfg.SlowRound,
+		Tracer:     tracer,
 	}, stream.MultiSink{s.recent, s.topk})
 	if err != nil {
 		return nil, err
@@ -387,6 +411,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/snapshot", s.count("snapshot", s.handleSnapshot))
 	mux.HandleFunc("/healthz", s.count("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.count("metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/traces", s.count("debug.traces", s.handleTraces))
 	if s.member {
 		mux.HandleFunc("/cluster/add-sub", s.count("cluster.add-sub", s.handleAddSub))
 		mux.HandleFunc("/cluster/remove-sub", s.count("cluster.remove-sub", s.handleRemoveSub))
@@ -406,11 +431,22 @@ func (s *Server) endpoint(name string) *endpointMetrics {
 }
 
 func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
-	return countRequests(s.obsReg, &s.reqs, s.endpoint(name), name, h)
+	return s.ro.wrap(&s.reqs, s.endpoint(name), name, h)
 }
 
 // Obs returns the server's metrics registry (nil with Config.DisableObs).
 func (s *Server) Obs() *obs.Registry { return s.obsReg }
+
+// Tracer returns the server's trace flight recorder (nil with
+// Config.DisableObs).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// handleTraces serves GET /debug/traces: recent (or ?slowest=1) trace
+// summaries from the flight recorder, or one trace's full span tree with
+// ?trace=<id>.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	serveTraces(w, r, s.tracer, s.tracer.Spans)
+}
 
 // handleMetrics serves metrics: by default the flat expvar-style map
 // (engine gauges plus per-endpoint request counts and latencies);
@@ -474,6 +510,9 @@ func (s *Server) prometheusSnapshots() []obs.MetricSnapshot {
 	var snaps []obs.MetricSnapshot
 	if s.obsReg != nil {
 		snaps = s.obsReg.Snapshot()
+	}
+	if s.runtime != nil {
+		snaps = append(snaps, s.runtime.Collect()...)
 	}
 	st := s.engine.Stats()
 	snaps = append(snaps,
@@ -628,6 +667,9 @@ type ingestResponse struct {
 	Seq        int64 `json:"seq,omitempty"`
 	Dup        bool  `json:"dup,omitempty"`       // idempotent resend no-op
 	Pipelined  bool  `json:"pipelined,omitempty"` // coordinator ack: applied asynchronously
+	// Trace is the batch's trace ID: the key into GET /debug/traces for the
+	// span tree following this batch from ingest ack to emit.
+	Trace string `json:"trace,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -659,7 +701,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	ack, err := s.engine.IngestWithAck(evs)
+	ack, err := s.engine.IngestTraced(evs, requestSpan(r).Context())
 	if err == nil && s.st != nil {
 		if perr := s.st.Append(evs); perr != nil {
 			// The engine applied the batch but the WAL did not: poison
@@ -679,6 +721,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Watermark:  ack.Watermark,
 		Detections: ack.Detections,
 		Seq:        req.Seq,
+		Trace:      ack.Trace,
 	}
 	if err == nil && req.Seq > 0 {
 		s.lastSeq = req.Seq
@@ -717,7 +760,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		defer s.snapMu.Unlock()
 	}
 	s.ingestMu.Lock()
-	ack := s.engine.FlushWithAck()
+	ack := s.engine.FlushTraced(requestSpan(r).Context())
 	var seq int64
 	var snap serverSnapshot
 	var snapErr error
@@ -741,6 +784,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Watermark:  ack.Watermark,
 		Detections: ack.Detections,
+		Trace:      ack.Trace,
 	})
 }
 

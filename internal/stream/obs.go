@@ -10,6 +10,7 @@ package stream
 
 import (
 	"log/slog"
+	"strconv"
 	"time"
 
 	"flowmotif/internal/obs"
@@ -58,24 +59,40 @@ func (m *engineMetrics) lagHist() *obs.Histogram {
 	return m.detectionLag
 }
 
+// startPlanSpan opens a child span under parent (nil parent — tracing
+// off or no batch trace — returns an inert nil span). The caller holds
+// mu.
+func (e *Engine) startPlanSpan(name string, parent *obs.TraceSpan, attrs ...obs.Label) *obs.TraceSpan {
+	if parent == nil {
+		return nil
+	}
+	return e.tracer.StartSpan(name, parent.Context(), attrs...)
+}
+
 // roundTrace accumulates one finalize round's stage durations. The
 // stages interleave per shape (a sliver shape builds a private graph
 // mid-round), so each stage is a sum of marks, recorded once at round
-// end. It stays off — zero clock reads — unless metrics or slow-round
-// logging want it.
+// end. It stays off — zero clock reads — unless metrics, tracing, or
+// slow-round logging want it. With tracing on it also carries the
+// round's real span ("finalize.round", child of the batch's root span),
+// the parent of the planner's stage spans.
 type roundTrace struct {
 	on                  bool
 	t0, last            time.Time
 	snap, match, fanout time.Duration
+	span                *obs.TraceSpan
 }
 
 func (t *roundTrace) begin(e *Engine) {
-	if e.mx == nil && (e.logger == nil || e.slowRound <= 0) {
+	if e.mx == nil && e.curSpan == nil && (e.logger == nil || e.slowRound <= 0) {
 		return
 	}
 	t.on = true
 	t.t0 = time.Now()
 	t.last = t.t0
+	if e.curSpan != nil {
+		t.span = e.tracer.StartSpan("finalize.round", e.curSpan.Context())
+	}
 }
 
 // mark adds the time since the previous mark to one stage accumulator.
@@ -88,28 +105,40 @@ func (t *roundTrace) mark(d *time.Duration) {
 	t.last = now
 }
 
-// end records the round into the engine's histograms and logs a
-// slow-round warning with the stage breakdown when the round exceeded
-// the configured threshold. The caller holds mu.
+// end records the round into the engine's histograms (offering the
+// round's trace as the histogram exemplar), closes the round span, and —
+// when the round exceeded the slow-round threshold — retains the trace
+// in the flight recorder and logs a warning whose trace ID keys the same
+// trace as the exemplar and /debug/traces. The caller holds mu.
 func (t *roundTrace) end(e *Engine, watermark int64, bands int) {
 	if !t.on {
 		return
 	}
 	total := time.Since(t.t0)
+	trace := t.span.Context().Trace
 	if mx := e.mx; mx != nil {
 		mx.stageSnapshot.ObserveDuration(t.snap)
 		mx.stageMatch.ObserveDuration(t.match)
 		mx.stageFanout.ObserveDuration(t.fanout)
-		mx.round.ObserveDuration(total)
+		mx.round.ObserveExemplar(total.Seconds(), trace)
 	}
-	if e.logger != nil && e.slowRound > 0 && total > e.slowRound {
-		e.logger.Warn("slow finalize round",
-			slog.Duration("total", total),
-			slog.Duration("snapshot", t.snap),
-			slog.Duration("match", t.match),
-			slog.Duration("fanout", t.fanout),
-			slog.Int64("watermark", watermark),
-			slog.Int("bands", bands),
-			slog.Int64("retained_events", int64(e.log.Len())))
+	t.span.Annotate(
+		obs.L("watermark", strconv.FormatInt(watermark, 10)),
+		obs.L("bands", strconv.Itoa(bands)))
+	t.span.End()
+	if e.slowRound > 0 && total > e.slowRound {
+		// Tail sampling: a slow round's trace survives ring wraparound.
+		e.tracer.Retain(trace)
+		if e.logger != nil {
+			e.logger.Warn("slow finalize round",
+				slog.Duration("total", total),
+				slog.Duration("snapshot", t.snap),
+				slog.Duration("match", t.match),
+				slog.Duration("fanout", t.fanout),
+				slog.Int64("watermark", watermark),
+				slog.Int("bands", bands),
+				slog.Int64("retained_events", int64(e.log.Len())),
+				slog.String("trace", trace))
+		}
 	}
 }

@@ -25,10 +25,12 @@ package stream
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"flowmotif/internal/core"
 	"flowmotif/internal/match"
+	"flowmotif/internal/obs"
 	"flowmotif/internal/temporal"
 )
 
@@ -164,12 +166,15 @@ func (e *Engine) finalize(terminal bool) {
 	// One snapshot per round over the union extent of every due band;
 	// every group reads the same arena-backed graph through its own anchor
 	// range, and the arena recycles the previous round's buffers.
+	snapSpan := e.startPlanSpan("finalize.snapshot", tr.span)
 	snap, err := e.log.BuildGraphArena(&e.arena, snapLo, snapHi)
 	if err != nil {
 		// Unreachable: the log only holds validated events.
 		panic(fmt.Sprintf("stream: round snapshot: %v", err))
 	}
 	e.snapshotBuilds++
+	snapSpan.Annotate(obs.L("events", strconv.Itoa(snap.NumEvents())))
+	snapSpan.End()
 	tr.mark(&tr.snap)
 
 	// Bucket the due groups by shape (first-seen order, so finalization
@@ -204,6 +209,13 @@ func (e *Engine) finalize(terminal bool) {
 	}
 	for _, shape := range order {
 		sp := plans[shape]
+		// One span per plan-group run: which shape, at what δ, for how many
+		// consumers — the unit a slow round decomposes into.
+		planSpan := e.startPlanSpan("finalize.plan", tr.span,
+			obs.L("shape", shape),
+			obs.L("delta", strconv.FormatInt(sp.maxDelta, 10)),
+			obs.L("subs", strconv.Itoa(sp.nsubs)),
+			obs.L("bands", strconv.Itoa(len(sp.bands))))
 		// A shape whose own extent is a sliver of the union snapshot (a
 		// small-δ shape sharing the round with a much larger δ) would pay
 		// the big window's phase-P1 cost for nothing: give it a private
@@ -228,11 +240,15 @@ func (e *Engine) finalize(terminal bool) {
 			// fused P1+P2 walk is not stage-separable; it lands in fanout.
 			db := due[sp.bands[0]]
 			e.matchRuns++
+			fanSpan := e.startPlanSpan("finalize.fanout", planSpan)
 			e.enumerateBand(g, db.subs[0], nil, db.hi, w, false)
+			fanSpan.End()
+			planSpan.End()
 			tr.mark(&tr.fanout)
 			continue
 		}
 		mo := due[sp.bands[0]].subs[0].sub.Motif
+		matchSpan := e.startPlanSpan("finalize.match", planSpan)
 		matches, err := core.CollectMatches(g, mo, sp.maxDelta)
 		if err != nil {
 			// Unreachable: δ was validated when the subscription was added.
@@ -240,13 +256,18 @@ func (e *Engine) finalize(terminal bool) {
 		}
 		e.matchRuns++
 		e.matchesShared += int64(len(matches)) * int64(sp.nsubs-1)
+		matchSpan.Annotate(obs.L("matches", strconv.Itoa(len(matches))))
+		matchSpan.End()
 		tr.mark(&tr.match)
+		fanSpan := e.startPlanSpan("finalize.fanout", planSpan)
 		for _, bi := range sp.bands {
 			db := due[bi]
 			for _, s := range db.subs {
 				e.enumerateBand(g, s, matches, db.hi, w, true)
 			}
 		}
+		fanSpan.End()
+		planSpan.End()
 		tr.mark(&tr.fanout)
 	}
 	tr.end(e, w, len(due))

@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -77,9 +78,18 @@ type Config struct {
 	// Logger receives structured engine logs (currently slow-round
 	// warnings); nil disables logging.
 	Logger *slog.Logger
-	// SlowRound, when positive and Logger is set, logs a warning with the
-	// stage breakdown for any finalize round that takes longer than this.
+	// SlowRound, when positive, logs a warning with the stage breakdown
+	// for any finalize round that takes longer than this (Logger set) and
+	// retains the round's trace in the flight recorder (tracing on).
 	SlowRound time.Duration
+	// Tracer is the flight recorder every ingest batch's span tree records
+	// into; nil creates a private tracer (readable via Engine.Tracer)
+	// unless tracing is off. See DESIGN.md §13.
+	Tracer *obs.Tracer
+	// DisableTrace turns span creation off — no trace IDs, no span clock
+	// reads — while keeping metrics; the tracing overhead gate compares
+	// against this. DisableObs implies it.
+	DisableTrace bool
 }
 
 // Detection is one finalized maximal motif instance, self-contained (it
@@ -200,6 +210,13 @@ type Engine struct {
 	slowRound time.Duration
 	arrivedAt time.Time
 
+	// Tracing (DESIGN.md §13). tracer is immutable after construction
+	// (nil: tracing off); curSpan is the in-flight call's root span,
+	// parent of the finalize-round spans — set under mu just before
+	// finalize, cleared by emitPending.
+	tracer  *obs.Tracer
+	curSpan *obs.TraceSpan
+
 	scratch []temporal.Event // reused per-batch sort buffer
 	pending []*Detection     // finalized this call, emitted after mu release
 
@@ -239,6 +256,12 @@ func NewEngine(cfg Config, sink Sink) (*Engine, error) {
 			e.obsReg = obs.NewRegistry()
 		}
 		e.mx = newEngineMetrics(e.obsReg)
+		if !cfg.DisableTrace {
+			e.tracer = cfg.Tracer
+			if e.tracer == nil {
+				e.tracer = obs.NewTracer(0)
+			}
+		}
 	}
 	for i, s := range cfg.Subs {
 		st, err := e.newSubState(s)
@@ -280,6 +303,9 @@ type Ack struct {
 	Watermark  int64 `json:"watermark"`
 	Started    bool  `json:"started"`
 	Detections int64 `json:"detections"`
+	// Trace is the batch's trace ID in the flight recorder ("" with
+	// tracing off): the key into /debug/traces for this batch's span tree.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Ingest appends a batch of events and finalizes every window the advanced
@@ -298,6 +324,15 @@ func (e *Engine) Ingest(events []temporal.Event) (int, error) {
 // the caller having to diff two Stats snapshots around the ingest (which
 // would need external serialization to be meaningful).
 func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
+	return e.IngestTraced(events, obs.SpanContext{})
+}
+
+// IngestTraced is IngestWithAck under a trace context: with tracing on,
+// the call's span tree (engine.ingest → finalize.round → stage spans →
+// finalize.emit) records into the flight recorder as a child of parent —
+// the replication deliver span, via W3C traceparent over the wire — or as
+// a new root trace when parent is zero. The ack carries the trace ID.
+func (e *Engine) IngestTraced(events []temporal.Event, parent obs.SpanContext) (Ack, error) {
 	if len(events) == 0 {
 		e.mu.Lock()
 		if err := e.failedLocked(); err != nil {
@@ -314,12 +349,17 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 		// including queueing behind in-flight ingests.
 		arrived = time.Now()
 	}
+	// The root span likewise opens before the lock wait, so queueing
+	// behind in-flight ingests is on the trace.
+	root := e.tracer.StartSpan("engine.ingest", parent,
+		obs.L("events", strconv.Itoa(len(events))))
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
 	e.arrivedAt = arrived
 	if err := e.failedLocked(); err != nil {
 		e.mu.Unlock()
+		endSpanErr(root, err)
 		return Ack{}, err
 	}
 
@@ -336,17 +376,22 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 	if batch[0].T < e.minNextT {
 		err := fmt.Errorf("%w: batch reaches back to t=%d, frontier is %d", ErrBehindFrontier, batch[0].T, e.minNextT)
 		e.mu.Unlock()
+		endSpanErr(root, err)
 		return Ack{}, err
 	}
 	for i := range batch {
 		ev := &batch[i]
 		if ev.From < 0 || ev.To < 0 {
+			err := fmt.Errorf("stream: batch event %d: negative node id", i)
 			e.mu.Unlock()
-			return Ack{}, fmt.Errorf("stream: batch event %d: negative node id", i)
+			endSpanErr(root, err)
+			return Ack{}, err
 		}
 		if ev.F <= 0 || math.IsNaN(ev.F) || math.IsInf(ev.F, 0) {
+			err := fmt.Errorf("stream: batch event %d: flow must be positive and finite (got %v)", i, ev.F)
 			e.mu.Unlock()
-			return Ack{}, fmt.Errorf("stream: batch event %d: flow must be positive and finite (got %v)", i, ev.F)
+			endSpanErr(root, err)
+			return Ack{}, err
 		}
 	}
 	for i := range batch {
@@ -358,8 +403,10 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 			// recovery path (snapshot + WAL replay into a fresh engine) is
 			// the way back.
 			e.failErr = fmt.Errorf("append event %d of %d: %w", i, len(batch), err)
+			err := fmt.Errorf("%w: %v", ErrFailStopped, e.failErr)
 			e.mu.Unlock()
-			return Ack{Ingested: i}, fmt.Errorf("%w: %v", ErrFailStopped, e.failErr)
+			endSpanErr(root, err)
+			return Ack{Ingested: i}, err
 		}
 	}
 	first := batch[0].T
@@ -375,10 +422,11 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 	e.batches++
 
 	n := len(batch)
+	e.curSpan = root
 	e.finalize(false)
 	e.evict()
-	ack := Ack{Ingested: n, Watermark: w, Started: true, Detections: int64(len(e.pending))}
-	e.emitPending() // unlocks mu
+	ack := Ack{Ingested: n, Watermark: w, Started: true, Detections: int64(len(e.pending)), Trace: root.Context().Trace}
+	e.emitPending() // unlocks mu; ends and clears curSpan
 	return ack, nil
 }
 
@@ -398,10 +446,16 @@ func (e *Engine) Flush() {
 // fail-stopped engine the flush is an inert zero ack (the signature has no
 // error); callers that must distinguish poisoned from empty check Err.
 func (e *Engine) FlushWithAck() Ack {
+	return e.FlushTraced(obs.SpanContext{})
+}
+
+// FlushTraced is FlushWithAck under a trace context (see IngestTraced).
+func (e *Engine) FlushTraced(parent obs.SpanContext) Ack {
 	var arrived time.Time
 	if e.mx != nil {
 		arrived = time.Now()
 	}
+	root := e.tracer.StartSpan("engine.flush", parent)
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
@@ -411,15 +465,17 @@ func (e *Engine) FlushWithAck() Ack {
 		// A fail-stopped engine must not foreclose windows over its
 		// diverged log; the flush is a no-op (see ErrFailStopped).
 		e.mu.Unlock()
+		root.End()
 		return Ack{}
 	}
+	e.curSpan = root
 	e.finalize(true)
 	if m := satAdd(w, e.maxDelta+1); m > e.minNextT {
 		e.minNextT = m
 	}
 	e.evict()
-	ack := Ack{Watermark: w, Started: true, Detections: int64(len(e.pending))}
-	e.emitPending() // unlocks mu
+	ack := Ack{Watermark: w, Started: true, Detections: int64(len(e.pending)), Trace: root.Context().Trace}
+	e.emitPending() // unlocks mu; ends and clears curSpan
 	return ack
 }
 
@@ -432,9 +488,20 @@ func (e *Engine) emitPending() {
 	pend := e.pending
 	e.pending = nil
 	arrived := e.arrivedAt
+	root := e.curSpan
+	e.curSpan = nil
 	e.mu.Unlock()
 	if len(pend) == 0 {
+		root.End()
 		return
+	}
+	// The emit span is the sink drain — the last span of the batch's
+	// trace; its end closes the trace. Only under a live root: paths with
+	// no batch trace (AddSubscription catch-up) emit untraced.
+	var es *obs.TraceSpan
+	if root != nil {
+		es = e.tracer.StartSpan("finalize.emit", root.Context(),
+			obs.L("detections", strconv.Itoa(len(pend))))
 	}
 	sp := e.mx.emitHist().Start()
 	if e.sink != nil {
@@ -443,14 +510,27 @@ func (e *Engine) emitPending() {
 		}
 	}
 	sp.End()
+	es.End()
 	if lagH := e.mx.lagHist(); lagH != nil && !arrived.IsZero() {
 		// All of the batch's detections reach the sink in this one drain;
-		// they share the batch's arrival → emit lag.
+		// they share the batch's arrival → emit lag. The first observation
+		// offers the batch's trace as the histogram exemplar.
 		lag := time.Since(arrived).Seconds()
-		for range pend {
+		lagH.ObserveExemplar(lag, root.Context().Trace)
+		for i := 1; i < len(pend); i++ {
 			lagH.Observe(lag)
 		}
 	}
+	root.Annotate(obs.L("detections", strconv.Itoa(len(pend))))
+	root.End()
+}
+
+// endSpanErr finishes a span with the error recorded (nil-safe both ways).
+func endSpanErr(s *obs.TraceSpan, err error) {
+	if s != nil && err != nil {
+		s.Annotate(obs.L("error", err.Error()))
+	}
+	s.End()
 }
 
 // failedLocked returns the wrapped fail-stop error when the engine is
@@ -525,6 +605,13 @@ func (e *Engine) Err() error {
 // was built with Config.DisableObs.
 func (e *Engine) Obs() *obs.Registry {
 	return e.obsReg
+}
+
+// Tracer returns the engine's flight recorder: the one from
+// Config.Tracer, or the private tracer created when none was given. Nil
+// when tracing is off (Config.DisableObs or Config.DisableTrace).
+func (e *Engine) Tracer() *obs.Tracer {
+	return e.tracer
 }
 
 // Watermark returns the largest ingested timestamp (ok false before the
