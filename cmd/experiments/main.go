@@ -53,11 +53,12 @@ func main() {
 		benchStreamMin = flag.Float64("bench-stream-min-speedup", 0, "fail unless the shared planner beats the per-sub baseline by at least this factor at 100 shared-shape subscriptions (0: no gate)")
 		benchObsMax    = flag.Float64("bench-obs-max-overhead", 0, "fail when metric collection slows ingest by more than this fraction vs the same run with Config.DisableObs (0: no gate)")
 		benchTrcMax    = flag.Float64("bench-trace-max-overhead", 0, "fail when flight-recorder span tracing slows ingest by more than this fraction vs the same run with Config.DisableTrace (0: no gate)")
+		benchAttMax    = flag.Float64("bench-attrib-max-overhead", 0, "fail when per-subscription cost attribution slows ingest by more than this fraction vs the same run with Config.DisableCostAttribution (0: no gate)")
 	)
 	flag.Parse()
 
 	if *benchStream {
-		runStreamBench(*benchStreamOut, *seed, *benchStreamMin, *benchObsMax, *benchTrcMax)
+		runStreamBench(*benchStreamOut, *seed, *benchStreamMin, *benchObsMax, *benchTrcMax, *benchAttMax)
 		return
 	}
 	if *benchClust {
@@ -169,7 +170,7 @@ func run(name string, f func()) {
 // baseline), writes BENCH_stream.json, and optionally gates on the 100-sub
 // shared-shape speedup. The speedup is a same-run ratio, so the gate is
 // stable across machines (unlike absolute events/sec).
-func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead, maxTraceOverhead float64) {
+func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead, maxTraceOverhead, maxAttribOverhead float64) {
 	fmt.Println("stream bench: subscription sweep, shared vs distinct shapes, planner vs per-sub baseline...")
 	t0 := time.Now()
 	rep, err := stream.RunBench(stream.BenchConfig{Seed: seed})
@@ -221,6 +222,15 @@ func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead, maxTrace
 				rep.TraceOverhead*100, maxTraceOverhead*100))
 		}
 		fmt.Printf("trace gate ok: %.2f%% <= %.2f%%\n", rep.TraceOverhead*100, maxTraceOverhead*100)
+	}
+	fmt.Printf("attribution overhead: %.2f%% (cost metering vs DisableCostAttribution, best of %d interleaved runs)\n",
+		rep.AttribOverhead*100, rep.AttribOverheadRuns)
+	if maxAttribOverhead > 0 {
+		if rep.AttribOverhead > maxAttribOverhead {
+			fatal(fmt.Sprintf("attribution gate: cost metering costs %.2f%% of ingest throughput, want <= %.2f%%",
+				rep.AttribOverhead*100, maxAttribOverhead*100))
+		}
+		fmt.Printf("attribution gate ok: %.2f%% <= %.2f%%\n", rep.AttribOverhead*100, maxAttribOverhead*100)
 	}
 }
 

@@ -194,6 +194,10 @@ func main() {
 		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
 		slowRnd  = flag.Duration("slow-round", 0, "warn when one finalize round exceeds this duration, with a per-stage breakdown (0 disables)")
 		slowReq  = flag.Duration("slow-request", 0, "tail-sample HTTP requests slower than this: retain the trace in the flight recorder and warn with its trace ID (0 disables)")
+		noAttrib = flag.Bool("no-cost-attribution", false, "disable per-subscription cost attribution (/debug/top and the *_cost_seconds_total counters go dark)")
+		lagSLO   = flag.Duration("lag-slo", 0, "detection-lag SLO threshold: run the burn-rate watchdog, alert and degrade /healthz when lag past this burns the error budget too fast (0 disables)")
+		sloTgt   = flag.Float64("lag-slo-target", 0.99, "SLO target good fraction for the burn-rate watchdog (with -lag-slo)")
+		burnWarn = flag.Float64("slo-burn-warn", 2, "burn-rate multiple that trips the SLO watchdog when both the fast and slow windows exceed it (with -lag-slo)")
 		version  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Var(&subs, "sub", `motif subscription "[id=]motif:delta[:phi]" (repeatable)`)
@@ -260,6 +264,14 @@ func main() {
 		Logger:        logger,
 		SlowRound:     *slowRnd,
 		SlowRequest:   *slowReq,
+
+		DisableCostAttribution: *noAttrib,
+
+		SLO: server.SLOConfig{
+			LagSLO:    *lagSLO,
+			LagTarget: *sloTgt,
+			BurnWarn:  *burnWarn,
+		},
 	})
 	if err != nil {
 		fatal(logger, "startup failed", "err", err)
@@ -270,6 +282,9 @@ func main() {
 	}
 	if *member {
 		logger.Info("cluster member mode: awaiting subscription placement")
+	}
+	if *lagSLO > 0 {
+		logger.Info("slo watchdog armed", "lag_slo", *lagSLO, "target", *sloTgt, "burn_warn", *burnWarn)
 	}
 	if srv.Durable() {
 		rec := srv.Recovery()

@@ -1030,6 +1030,12 @@ type MemberInfo struct {
 	// coordinator's merged Prometheus exposition. Excluded from the JSON
 	// stats payload: /metrics?format=prometheus is the serving surface.
 	Metrics []obs.MetricSnapshot `json:"-"`
+	// Cost attribution rows (DESIGN.md §14), carried for the coordinator's
+	// /debug/top ranking; like Metrics, excluded from the JSON stats
+	// payload (/debug/top is the serving surface).
+	CostSeconds float64                 `json:"costSeconds,omitempty"`
+	SubCosts    []SubCostInfo           `json:"-"`
+	GroupCosts  []stream.GroupCostStats `json:"-"`
 }
 
 // ClusterStats snapshots cluster progress and health.
@@ -1138,6 +1144,9 @@ func (c *Coordinator) StatsTraced(parent obs.SpanContext) ClusterStats {
 			info.SnapshotReuse = s.SnapshotReuse
 			info.MatchesShared = s.MatchesShared
 			info.Metrics = s.Metrics
+			info.CostSeconds = s.CostSeconds
+			info.SubCosts = s.SubCosts
+			info.GroupCosts = s.GroupCosts
 			if s.Started {
 				info.Lag = st.Watermark - s.Watermark
 			}

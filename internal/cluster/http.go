@@ -220,8 +220,12 @@ type statsResponse struct {
 		SnapshotReuse  float64 `json:"snapshotReuse"`
 		MatchesShared  int64   `json:"matchesShared"`
 		Subs           []struct {
-			ID string `json:"id"`
+			ID    string         `json:"id"`
+			Shape string         `json:"shape"`
+			Cost  stream.SubCost `json:"cost"`
 		} `json:"subs"`
+		Cost   stream.EngineCostStats  `json:"cost"`
+		Groups []stream.GroupCostStats `json:"groups"`
 	} `json:"engine"`
 	// Metrics is the member server's full metric snapshot (the coordinator
 	// bucket-merges member histograms into its own exposition).
@@ -253,7 +257,12 @@ func (m *HTTPMember) StatsTraced(sc obs.SpanContext) (MemberStats, error) {
 	}
 	for _, s := range resp.Engine.Subs {
 		out.Subs = append(out.Subs, s.ID)
+		if s.Cost != (stream.SubCost{}) {
+			out.SubCosts = append(out.SubCosts, SubCostInfo{ID: s.ID, Shape: s.Shape, Cost: s.Cost})
+		}
 	}
+	out.CostSeconds = resp.Engine.Cost.AttributedSeconds
+	out.GroupCosts = resp.Engine.Groups
 	out.Metrics = resp.Metrics
 	return out, nil
 }

@@ -294,7 +294,12 @@ func (m *LocalMember) Stats() (MemberStats, error) {
 	}
 	for _, s := range st.Subs {
 		out.Subs = append(out.Subs, s.ID)
+		if s.Cost != (stream.SubCost{}) {
+			out.SubCosts = append(out.SubCosts, SubCostInfo{ID: s.ID, Shape: s.Shape, Cost: s.Cost})
+		}
 	}
+	out.CostSeconds = st.Cost.AttributedSeconds
+	out.GroupCosts = st.Groups
 	out.Metrics = m.eng.Obs().Snapshot()
 	return out, nil
 }

@@ -167,6 +167,19 @@ type MemberStats struct {
 	// detection-lag histograms among them); the coordinator bucket-merges
 	// these across members for its own Prometheus exposition.
 	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
+	// Cost attribution (DESIGN.md §14): the member engine's attributed
+	// seconds plus its per-subscription and per-plan-group accounts, the
+	// rows the coordinator ranks for /debug/top.
+	CostSeconds float64                 `json:"costSeconds,omitempty"`
+	SubCosts    []SubCostInfo           `json:"subCosts,omitempty"`
+	GroupCosts  []stream.GroupCostStats `json:"groupCosts,omitempty"`
+}
+
+// SubCostInfo is one subscription's attributed-cost row in MemberStats.
+type SubCostInfo struct {
+	ID    string         `json:"id"`
+	Shape string         `json:"shape"`
+	Cost  stream.SubCost `json:"cost"`
 }
 
 // Member is the coordinator's view of one shard engine. Implementations

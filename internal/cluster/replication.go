@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"flowmotif/internal/obs"
@@ -107,8 +108,19 @@ func (c *Coordinator) replicate(ms *memberState) {
 		// append span (a backlog folds several batch traces into one call;
 		// the older entries keep their coordinator-side spans but their
 		// member-side subtree lands under the newest trace — see DESIGN.md
-		// §13). Read under mu: the log may be trimmed once released.
+		// §13). The older entries' trace IDs ride the span as the
+		// coalesced_traces attribute so a stitched tree still names the
+		// ingest ancestry it folded in. Read under mu: the log may be
+		// trimmed once released.
 		parent := c.entryLocked(seq).sc
+		var coalescedTraces []string
+		if parent.Valid() {
+			for s := first; s < seq; s++ {
+				if t := c.entryLocked(s).sc.Trace; t != "" {
+					coalescedTraces = append(coalescedTraces, t)
+				}
+			}
+		}
 		c.mu.Unlock()
 
 		c.mxCoalesce.Observe(float64(n))
@@ -116,6 +128,12 @@ func (c *Coordinator) replicate(ms *memberState) {
 			obs.L("member", ms.m.ID()),
 			obs.L("seq", strconv.FormatInt(seq, 10)),
 			obs.L("events", strconv.Itoa(n)))
+		if seq > first {
+			dsp.Annotate(obs.L("coalesced_batches", strconv.FormatInt(seq-first+1, 10)))
+			if len(coalescedTraces) > 0 {
+				dsp.Annotate(obs.L("coalesced_traces", strings.Join(coalescedTraces, ",")))
+			}
+		}
 		t0 := time.Now()
 		ack, err := c.deliver(ms, Batch{Seq: seq, Events: evs, Traceparent: traceparentOf(dsp.Context())})
 		c.mxDeliver.ObserveExemplar(time.Since(t0).Seconds(), parent.Trace)

@@ -1,0 +1,118 @@
+package obs
+
+// Cost-attribution and SLO helpers (DESIGN.md §14): a small top-k
+// accumulator the serving layer ranks per-subscription / per-group /
+// per-shard attributed cost with (GET /debug/top), and the burn-rate math
+// the SLO watchdog evaluates over histogram-snapshot deltas.
+
+import (
+	"math"
+	"sort"
+)
+
+// TopEntry is one keyed contribution in a TopAccum: a primary value the
+// ranking sorts by plus named secondary accumulators (emit counts, member
+// counts, stage breakdowns) that merge field-wise.
+type TopEntry struct {
+	Key    string             `json:"key"`
+	Value  float64            `json:"value"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// TopAccum accumulates keyed float contributions — repeated Adds under one
+// key sum — and returns the top-N by value. The cluster coordinator merges
+// per-member group costs through one: the same (shape, δ) group living on
+// several shards folds into a single cluster-wide row.
+type TopAccum struct {
+	byKey map[string]*TopEntry
+}
+
+// NewTopAccum returns an empty accumulator.
+func NewTopAccum() *TopAccum {
+	return &TopAccum{byKey: map[string]*TopEntry{}}
+}
+
+// Add sums value into key's primary value.
+func (a *TopAccum) Add(key string, value float64) {
+	a.entry(key).Value += value
+}
+
+// AddField sums v into key's named secondary accumulator.
+func (a *TopAccum) AddField(key, field string, v float64) {
+	e := a.entry(key)
+	if e.Fields == nil {
+		e.Fields = map[string]float64{}
+	}
+	e.Fields[field] += v
+}
+
+func (a *TopAccum) entry(key string) *TopEntry {
+	e := a.byKey[key]
+	if e == nil {
+		e = &TopEntry{Key: key}
+		a.byKey[key] = e
+	}
+	return e
+}
+
+// Top returns the n largest entries by value, ties broken by key so the
+// ranking is deterministic. n <= 0 returns all entries.
+func (a *TopAccum) Top(n int) []TopEntry {
+	out := make([]TopEntry, 0, len(a.byKey))
+	for _, e := range a.byKey {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CountAtMost returns how many observations fell at or under bound,
+// conservatively: the cumulative count through the smallest bucket bound
+// >= bound (an observation inside that bucket but above bound still counts
+// as good — the bucket resolution is the measurement's error bar).
+func (s HistogramSnapshot) CountAtMost(bound float64) uint64 {
+	i := sort.SearchFloat64s(s.Bounds, bound)
+	var cum uint64
+	for b := 0; b <= i && b < len(s.Counts); b++ {
+		cum += s.Counts[b]
+	}
+	return cum
+}
+
+// BurnRate is the SLO burn rate of a window: the observed bad fraction
+// divided by the error budget (1 − target). 1.0 means the budget is being
+// consumed exactly at the sustainable rate; N means the budget burns N×
+// too fast. An empty window (total 0) burns nothing; a target >= 1 leaves
+// no budget, so any bad observation burns at +Inf.
+func BurnRate(bad, total, target float64) float64 {
+	if total <= 0 || bad <= 0 {
+		return 0
+	}
+	budget := 1 - target
+	frac := bad / total
+	if budget <= 0 {
+		return math.Inf(1)
+	}
+	return frac / budget
+}
+
+// WindowDelta subtracts an earlier snapshot of the same histogram from s,
+// returning the (good-at-most-bound, total) observation counts that landed
+// in between — the unit the watchdog's fast/slow burn windows are computed
+// over. A counter reset (earlier ahead of s) degrades to s alone.
+func (s HistogramSnapshot) WindowDelta(earlier HistogramSnapshot, bound float64) (good, total float64) {
+	curGood, curTotal := s.CountAtMost(bound), s.Count
+	prevGood, prevTotal := earlier.CountAtMost(bound), earlier.Count
+	if prevTotal > curTotal || prevGood > curGood {
+		prevGood, prevTotal = 0, 0
+	}
+	return float64(curGood - prevGood), float64(curTotal - prevTotal)
+}

@@ -73,6 +73,36 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// FloatCounter is a monotonically increasing float64 value, for quantities
+// that accumulate in fractional units (attributed CPU seconds). It snapshots
+// as a plain counter series. All methods are safe on a nil receiver.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds v (v must be >= 0; negative deltas are ignored to keep the
+// counter monotonic). Lock-free: a CAS loop over the float bits.
+func (c *FloatCounter) Add(v float64) {
+	if c == nil || !(v > 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
 // Gauge is a value that can go up and down. All methods are safe on a nil
 // receiver (no-ops).
 type Gauge struct {
@@ -83,6 +113,21 @@ type Gauge struct {
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta (either sign), for up/down quantities
+// like in-flight request counts. Lock-free CAS over the float bits.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
@@ -284,6 +329,7 @@ type series struct {
 	kind   string
 	labels []Label
 	ctr    *Counter
+	fctr   *FloatCounter
 	gauge  *Gauge
 	hist   *Histogram
 }
@@ -365,10 +411,31 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 		return nil
 	}
 	s := r.lookup(name, help, KindCounter, labels)
+	if s.fctr != nil {
+		panic(fmt.Sprintf("obs: float counter %q re-registered as counter", name))
+	}
 	if s.ctr == nil {
 		s.ctr = &Counter{}
 	}
 	return s.ctr
+}
+
+// FloatCounter returns (registering on first use) a float-valued counter
+// series name{labels...}. It shares the counter kind with Counter — a
+// series is one or the other, never both (asking for the same series under
+// the other flavor panics, a wiring bug).
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindCounter, labels)
+	if s.ctr != nil {
+		panic(fmt.Sprintf("obs: counter %q re-registered as float counter", name))
+	}
+	if s.fctr == nil {
+		s.fctr = &FloatCounter{}
+	}
+	return s.fctr
 }
 
 // Gauge returns (registering on first use) the gauge series
@@ -440,7 +507,11 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		m := MetricSnapshot{Name: s.name, Help: s.help, Kind: s.kind, Labels: s.labels}
 		switch s.kind {
 		case KindCounter:
-			m.Value = float64(s.ctr.Value())
+			if s.fctr != nil {
+				m.Value = s.fctr.Value()
+			} else {
+				m.Value = float64(s.ctr.Value())
+			}
 		case KindGauge:
 			m.Value = s.gauge.Value()
 		case KindHistogram:

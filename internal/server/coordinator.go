@@ -100,6 +100,7 @@ func (cs *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/metrics", cs.count("metrics", cs.handleMetrics))
 	mux.HandleFunc("/healthz", cs.count("healthz", cs.handleHealthz))
 	mux.HandleFunc("/debug/traces", cs.count("debug.traces", cs.handleTraces))
+	mux.HandleFunc("/debug/top", cs.count("debug.top", cs.handleTop))
 	mux.HandleFunc("/members/add", cs.count("members.add", cs.handleMemberAdd))
 	mux.HandleFunc("/members/remove", cs.count("members.remove", cs.handleMemberRemove))
 	mux.HandleFunc("/members/fail", cs.count("members.fail", cs.handleMemberFail))

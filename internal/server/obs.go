@@ -114,8 +114,19 @@ type requestObs struct {
 // lazily on first use, so an endpoint that never errors never grows
 // 4xx/5xx series.
 func (o requestObs) wrap(reqs *atomic.Int64, m *endpointMetrics, name string, h http.HandlerFunc) http.HandlerFunc {
+	// The in-flight gauge registers once per endpoint at wrap time, so a
+	// saturated endpoint is visible (requests entered, none finished)
+	// before its latency histogram moves at all.
+	var inflight *obs.Gauge
+	if o.reg != nil {
+		inflight = o.reg.Gauge("flowmotif_http_inflight",
+			"HTTP requests currently being served, by endpoint.",
+			obs.L("endpoint", name))
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
+		inflight.Add(1)
+		defer inflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		var sp *obs.TraceSpan
 		if o.tracer != nil {

@@ -119,6 +119,15 @@ type Config struct {
 	// this retains its trace in the flight recorder and logs a warning
 	// carrying the trace ID (0: off).
 	SlowRequest time.Duration
+	// SLO configures the burn-rate watchdog (DESIGN.md §14): with
+	// SLO.LagSLO set (and observability on) a goroutine samples detection
+	// lag and HTTP error rates, exports flowmotif_slo_burn_rate gauges, and
+	// degrades /healthz when both burn windows run hot.
+	SLO SLOConfig
+	// DisableCostAttribution turns off the engine's per-subscription cost
+	// metering (attribution is on by default whenever observability is on);
+	// see stream.Config.DisableCostAttribution.
+	DisableCostAttribution bool
 }
 
 // RecoveryStats reports what New rebuilt from a data dir.
@@ -153,6 +162,7 @@ type Server struct {
 	obsReg    *obs.Registry     // nil with Config.DisableObs
 	tracer    *obs.Tracer       // nil with Config.DisableObs
 	runtime   *obs.RuntimeStats // nil with Config.DisableObs
+	slo       *sloWatchdog      // nil unless Config.SLO.LagSLO set (and obs on)
 	ro        requestObs
 
 	// subMu guards subIDs, which cluster handoffs mutate at runtime.
@@ -241,14 +251,15 @@ func New(cfg Config) (*Server, error) {
 		s.runtime = obs.NewRuntimeStats()
 	}
 	eng, err := stream.NewEngine(stream.Config{
-		Subs:       cfg.Subs,
-		Workers:    cfg.Workers,
-		Slack:      cfg.Slack,
-		Obs:        reg,
-		DisableObs: cfg.DisableObs,
-		Logger:     cfg.Logger,
-		SlowRound:  cfg.SlowRound,
-		Tracer:     tracer,
+		Subs:                   cfg.Subs,
+		Workers:                cfg.Workers,
+		Slack:                  cfg.Slack,
+		Obs:                    reg,
+		DisableObs:             cfg.DisableObs,
+		DisableCostAttribution: cfg.DisableCostAttribution,
+		Logger:                 cfg.Logger,
+		SlowRound:              cfg.SlowRound,
+		Tracer:                 tracer,
 	}, stream.MultiSink{s.recent, s.topk})
 	if err != nil {
 		return nil, err
@@ -271,6 +282,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.st = st
+	}
+	if cfg.SLO.LagSLO > 0 && reg != nil {
+		s.slo = newSLOWatchdog(cfg.SLO, reg, tracer, cfg.Logger)
 	}
 	return s, nil
 }
@@ -385,10 +399,14 @@ func (s *Server) writeSnapshot(seq int64, snap serverSnapshot) error {
 	return s.st.WriteSnapshot(seq, payload)
 }
 
-// Close flushes a final snapshot (durable servers; best-effort — the WAL
-// alone already suffices for recovery) and closes the store. The server
-// must not serve requests afterwards.
+// Close stops the SLO watchdog, flushes a final snapshot (durable
+// servers; best-effort — the WAL alone already suffices for recovery) and
+// closes the store. The server must not serve requests afterwards.
 func (s *Server) Close() error {
+	if s.slo != nil {
+		s.slo.stopWatch()
+		s.slo = nil
+	}
 	if s.st == nil {
 		return nil
 	}
@@ -412,6 +430,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.count("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.count("metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/traces", s.count("debug.traces", s.handleTraces))
+	mux.HandleFunc("/debug/top", s.count("debug.top", s.handleTop))
 	if s.member {
 		mux.HandleFunc("/cluster/add-sub", s.count("cluster.add-sub", s.handleAddSub))
 		mux.HandleFunc("/cluster/remove-sub", s.count("cluster.remove-sub", s.handleRemoveSub))
@@ -813,6 +832,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz reports liveness plus the load-balancer-relevant progress
 // counters: the stream watermark, event counts and snapshot freshness.
+// With the SLO watchdog tripped the status degrades (still 200 — the
+// process is alive and serving; "degraded" plus the reasons is the signal
+// a traffic director acts on).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
@@ -826,6 +848,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"events":     st.EventsIngested,
 		"detections": st.Detections,
 		"durable":    s.st != nil,
+	}
+	if s.slo != nil {
+		if reasons := s.slo.Reasons(); len(reasons) > 0 {
+			resp["status"] = "degraded"
+			resp["degradedReasons"] = reasons
+		}
 	}
 	if s.st != nil {
 		resp["walEvents"] = s.st.Seq()

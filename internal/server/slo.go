@@ -1,0 +1,252 @@
+package server
+
+// SLO burn-rate watchdog (DESIGN.md §14). A goroutine samples the server's
+// own histograms on a fixed interval and evaluates two SLOs over a fast
+// and a slow window:
+//
+//   - detection lag: the fraction of detections whose arrival-to-emit lag
+//     stayed under Config.SLO.LagSLO must be at least LagTarget;
+//   - error rate: the fraction of HTTP requests answered under 5xx must be
+//     at least LagTarget (the SLOs share one target).
+//
+// Each window's burn rate (obs.BurnRate: observed bad fraction over the
+// error budget 1−target) is exported as flowmotif_slo_burn_rate{slo,
+// window}. When BOTH windows of an SLO exceed BurnWarn — the classic
+// fast+slow guard against paging on a blip while still catching slow
+// leaks — the watchdog trips: it records a degradation reason /healthz
+// serves, retains the newest lag-histogram trace exemplar in the flight
+// recorder (the trace of a batch that actually lagged), and logs one
+// structured alert per trip edge.
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"flowmotif/internal/obs"
+)
+
+// SLOConfig parameterizes the watchdog; the zero LagSLO leaves it off.
+type SLOConfig struct {
+	// LagSLO is the detection-lag threshold: an emit counts against the
+	// budget when its arrival-to-emit lag exceeds this. 0 disables the
+	// watchdog.
+	LagSLO time.Duration
+	// LagTarget is the target good fraction for both SLOs (default 0.99).
+	LagTarget float64
+	// BurnWarn trips the watchdog when both windows burn faster than this
+	// multiple of the sustainable rate (default 2).
+	BurnWarn float64
+	// FastWindow/SlowWindow are the two burn windows (defaults 1m / 10m).
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// Interval is the sampling period (default 10s).
+	Interval time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LagTarget == 0 {
+		c.LagTarget = 0.99
+	}
+	if c.BurnWarn == 0 {
+		c.BurnWarn = 2
+	}
+	if c.FastWindow == 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow == 0 {
+		c.SlowWindow = 10 * time.Minute
+	}
+	if c.Interval == 0 {
+		c.Interval = 10 * time.Second
+	}
+	return c
+}
+
+// sloSample is one tick's cumulative counters: the merged detection-lag
+// histogram plus the HTTP request total and its 5xx share.
+type sloSample struct {
+	at        time.Time
+	lag       obs.HistogramSnapshot
+	lagTrace  string
+	httpBad   float64
+	httpTotal float64
+}
+
+// sloWatchdog owns the sampling loop and the trip state.
+type sloWatchdog struct {
+	cfg    SLOConfig
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	logger *slog.Logger
+
+	// Burn-rate gauges, registered upfront so the metrics catalog shows
+	// them before the first trip.
+	gauges map[string]map[string]*obs.Gauge // slo → window → gauge
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	samples []sloSample
+	reasons []string        // current degradation reasons ("" state: healthy)
+	tripped map[string]bool // slo → currently over budget (edge detection)
+}
+
+func newSLOWatchdog(cfg SLOConfig, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) *sloWatchdog {
+	w := &sloWatchdog{
+		cfg:     cfg.withDefaults(),
+		reg:     reg,
+		tracer:  tracer,
+		logger:  logger,
+		gauges:  map[string]map[string]*obs.Gauge{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		tripped: map[string]bool{},
+	}
+	for _, slo := range []string{"lag", "errors"} {
+		w.gauges[slo] = map[string]*obs.Gauge{}
+		for _, win := range []string{"fast", "slow"} {
+			w.gauges[slo][win] = reg.Gauge("flowmotif_slo_burn_rate",
+				"SLO burn rate: observed bad fraction over the error budget, per SLO and window (1 = budget consumed exactly at the sustainable rate).",
+				obs.L("slo", slo), obs.L("window", win))
+		}
+	}
+	go w.run()
+	return w
+}
+
+func (w *sloWatchdog) run() {
+	defer close(w.done)
+	tick := time.NewTicker(w.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.evaluate(w.sample(time.Now()))
+		}
+	}
+}
+
+func (w *sloWatchdog) stopWatch() {
+	close(w.stop)
+	<-w.done
+}
+
+// sample reads the registry's cumulative counters: every detection-lag
+// histogram merged (a member engine registers one; merging tolerates
+// several sharing a registry) and the HTTP request counts by class.
+func (w *sloWatchdog) sample(now time.Time) sloSample {
+	s := sloSample{at: now}
+	for _, m := range w.reg.Snapshot() {
+		switch m.Name {
+		case "flowmotif_detection_lag_seconds":
+			if m.Hist != nil {
+				if s.lag.Count == 0 {
+					s.lag = *m.Hist
+				} else {
+					_ = s.lag.Merge(*m.Hist)
+				}
+				if ex := m.Hist.Exemplar; ex != nil && ex.Trace != "" {
+					s.lagTrace = ex.Trace
+				}
+			}
+		case "flowmotif_http_request_seconds":
+			if m.Hist == nil {
+				continue
+			}
+			s.httpTotal += float64(m.Hist.Count)
+			for _, l := range m.Labels {
+				if l.Key == "code" && l.Value == "5xx" {
+					s.httpBad += float64(m.Hist.Count)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// evaluate appends the sample, computes both SLOs' fast/slow burn rates,
+// exports the gauges, and handles trip edges. Split from run for tests.
+func (w *sloWatchdog) evaluate(s sloSample) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples = append(w.samples, s)
+	// Keep one sample beyond the slow window so its delta stays anchored.
+	cutoff := s.at.Add(-w.cfg.SlowWindow - w.cfg.Interval)
+	for len(w.samples) > 1 && w.samples[1].at.Before(cutoff) {
+		w.samples = w.samples[1:]
+	}
+
+	burn := func(window time.Duration) (lagBurn, errBurn float64) {
+		earlier := w.samples[0]
+		for _, past := range w.samples {
+			if past.at.After(s.at.Add(-window)) {
+				break
+			}
+			earlier = past
+		}
+		good, total := s.lag.WindowDelta(earlier.lag, w.cfg.LagSLO.Seconds())
+		lagBurn = obs.BurnRate(total-good, total, w.cfg.LagTarget)
+		bad := s.httpBad - earlier.httpBad
+		reqs := s.httpTotal - earlier.httpTotal
+		if bad < 0 || reqs < 0 { // counter reset
+			bad, reqs = s.httpBad, s.httpTotal
+		}
+		errBurn = obs.BurnRate(bad, reqs, w.cfg.LagTarget)
+		return lagBurn, errBurn
+	}
+	lagFast, errFast := burn(w.cfg.FastWindow)
+	lagSlow, errSlow := burn(w.cfg.SlowWindow)
+	w.gauges["lag"]["fast"].Set(lagFast)
+	w.gauges["lag"]["slow"].Set(lagSlow)
+	w.gauges["errors"]["fast"].Set(errFast)
+	w.gauges["errors"]["slow"].Set(errSlow)
+
+	w.reasons = w.reasons[:0]
+	w.judge("lag", lagFast, lagSlow,
+		fmt.Sprintf("detection lag over %s SLO: burn %.1fx fast / %.1fx slow (target %.4g)",
+			w.cfg.LagSLO, lagFast, lagSlow, w.cfg.LagTarget), s.lagTrace)
+	w.judge("errors", errFast, errSlow,
+		fmt.Sprintf("HTTP 5xx rate: burn %.1fx fast / %.1fx slow (target %.4g)",
+			errFast, errSlow, w.cfg.LagTarget), "")
+}
+
+// judge applies the fast+slow trip rule to one SLO under mu: both windows
+// over BurnWarn trips it (reason recorded, lag exemplar retained, one
+// alert logged per edge); either window recovering clears it.
+func (w *sloWatchdog) judge(slo string, fast, slow float64, reason, trace string) {
+	over := fast > w.cfg.BurnWarn && slow > w.cfg.BurnWarn
+	if over {
+		w.reasons = append(w.reasons, reason)
+	}
+	if over && !w.tripped[slo] {
+		if trace != "" && w.tracer != nil {
+			// Pin the trace of a batch that actually lagged, so the
+			// post-incident /debug/traces lookup still has the evidence.
+			w.tracer.Retain(trace)
+		}
+		if w.logger != nil {
+			w.logger.Warn("slo burn-rate alert",
+				slog.String("slo", slo),
+				slog.Float64("burnFast", fast),
+				slog.Float64("burnSlow", slow),
+				slog.Float64("threshold", w.cfg.BurnWarn),
+				slog.String("trace", trace))
+		}
+	} else if !over && w.tripped[slo] && w.logger != nil {
+		w.logger.Info("slo burn-rate recovered", slog.String("slo", slo))
+	}
+	w.tripped[slo] = over
+}
+
+// Reasons returns the current degradation reasons (empty when healthy);
+// /healthz serves them.
+func (w *sloWatchdog) Reasons() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.reasons...)
+}

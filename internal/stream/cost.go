@@ -1,0 +1,331 @@
+package stream
+
+// Per-subscription cost attribution (DESIGN.md §14). The shared-evaluation
+// planner deliberately blurs who pays for what: one snapshot and one
+// phase-P1 match run serve a whole plan group, so a subscription's real
+// cost is invisible to per-call accounting. This file meters each finalize
+// round's actual work — union snapshot build, per-shape private graphs and
+// match runs, every per-subscription fan-out walk — and splits the shared
+// stage costs back onto member subscriptions proportionally to their own
+// fan-out time (the one per-subscription signal the round measures
+// directly; equal split when a round's fan-outs are all under the clock
+// resolution). The attributed totals surface as SubCost/GroupCostStats in
+// Stats, as flowmotif_sub_cost_seconds_total{shape,sub} and
+// flowmotif_group_cost_seconds_total{delta,shape} counters, and feed
+// GET /debug/top.
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"flowmotif/internal/obs"
+)
+
+// costEwmaTau is the time constant of the attributed-cost rate estimator:
+// each round's attributed seconds enter as an impulse of add/τ that decays
+// exponentially, so a steady workload of X engine-seconds per wall-second
+// converges to a rate of X (half-life τ·ln2 ≈ 21s).
+const costEwmaTau = 30 * time.Second
+
+// SubCost is one subscription's attributed-cost readout: total engine
+// seconds attributed to it (its own fan-out walks plus its proportional
+// share of the shared snapshot/match stages), its fan-out-only seconds,
+// its share of all attributed engine work, and the EWMA cost rate
+// (attributed seconds per wall second).
+type SubCost struct {
+	Seconds       float64 `json:"seconds"`
+	FanoutSeconds float64 `json:"fanoutSeconds"`
+	Emits         int64   `json:"emits"`
+	Share         float64 `json:"share"`
+	Rate          float64 `json:"rate"`
+}
+
+// GroupCostStats is one plan group's attributed-cost readout: the (shape,
+// δ) key, its member count, the attributed seconds broken down by stage,
+// structural matches its fan-outs replayed, instances emitted, share of
+// engine work, and the EWMA cost rate.
+type GroupCostStats struct {
+	Shape           string  `json:"shape"`
+	Delta           int64   `json:"delta"`
+	Subs            int     `json:"subs"`
+	Seconds         float64 `json:"seconds"`
+	SnapshotSeconds float64 `json:"snapshotSeconds"`
+	MatchSeconds    float64 `json:"matchSeconds"`
+	FanoutSeconds   float64 `json:"fanoutSeconds"`
+	MatchesVisited  int64   `json:"matchesVisited"`
+	Emits           int64   `json:"emits"`
+	Share           float64 `json:"share"`
+	Rate            float64 `json:"rate"`
+}
+
+// EngineCostStats is the engine-level attribution account: the seconds
+// attributed across all subscriptions, the independently measured finalize
+// round seconds they must sum to (the oracle in cost_test.go holds them
+// within 10%), and the metered round count.
+type EngineCostStats struct {
+	AttributedSeconds float64 `json:"attributedSeconds"`
+	RoundSeconds      float64 `json:"roundSeconds"`
+	Rounds            int64   `json:"rounds"`
+}
+
+// subCostState is the per-subscription attribution account on subState.
+type subCostState struct {
+	attribNs int64
+	fanoutNs int64
+	rate     float64
+	rateAt   time.Time
+	ctr      *obs.FloatCounter // flowmotif_sub_cost_seconds_total{shape,sub}
+}
+
+// groupCostState is the per-plan-group attribution account on planGroup.
+type groupCostState struct {
+	attribNs int64
+	snapNs   int64
+	matchNs  int64
+	fanoutNs int64
+	matches  int64
+	emits    int64
+	rate     float64
+	rateAt   time.Time
+	roundNs  int64             // scratch: this round's attributed ns
+	ctr      *obs.FloatCounter // flowmotif_group_cost_seconds_total{delta,shape}
+}
+
+// attachCostLocked registers the cost counters for a subscription entering
+// a plan group. The caller holds mu (or the engine is under construction).
+func (e *Engine) attachCostLocked(s *subState, g *planGroup) {
+	if !e.costOn {
+		return
+	}
+	s.cost.ctr = e.obsReg.FloatCounter("flowmotif_sub_cost_seconds_total",
+		"Engine seconds attributed to one subscription: its fan-out walks plus its proportional share of shared snapshot/match work.",
+		obs.L("shape", g.key.shape), obs.L("sub", s.sub.ID))
+	if g.cost.ctr == nil {
+		g.cost.ctr = e.obsReg.FloatCounter("flowmotif_group_cost_seconds_total",
+			"Engine seconds attributed to one (shape, delta) plan group.",
+			obs.L("delta", strconv.FormatInt(g.key.delta, 10)), obs.L("shape", g.key.shape))
+	}
+}
+
+// roundCost collects one finalize round's raw stage measurements; the
+// proportional split happens once at round end (applyCostLocked). It stays
+// off — zero clock reads — unless cost attribution is on.
+type roundCost struct {
+	on     bool
+	t0     time.Time
+	snapNs int64 // union snapshot build
+	shapes []shapeCost
+	cur    *shapeCost
+}
+
+// shapeCost is one shape's shared work in a round: a private sliver graph
+// (if any), the phase-P1 match run, and the per-subscription fan-outs the
+// shared cost is split across.
+type shapeCost struct {
+	snapNs  int64
+	matchNs int64
+	matches int // shared match-list length (0: fused single-consumer walk)
+	samples []costSample
+}
+
+// costSample is one fan-out walk: which subscription and group, its own
+// wall time, and the instances it emitted.
+type costSample struct {
+	g        *planGroup
+	s        *subState
+	fanoutNs int64
+	emits    int64
+}
+
+func (rc *roundCost) begin(e *Engine) {
+	if !e.costOn {
+		return
+	}
+	rc.on = true
+	rc.t0 = time.Now()
+}
+
+// now returns the current time when metering is on (zero otherwise), the
+// single branch every measurement site pays.
+func (rc *roundCost) now() time.Time {
+	if !rc.on {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (rc *roundCost) addSnap(t0 time.Time) {
+	if rc.on {
+		rc.snapNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+// shape opens a new per-shape account; later addShapeSnap/addMatch/sample
+// calls land in it.
+func (rc *roundCost) shape() {
+	if !rc.on {
+		return
+	}
+	rc.shapes = append(rc.shapes, shapeCost{})
+	rc.cur = &rc.shapes[len(rc.shapes)-1]
+}
+
+func (rc *roundCost) addShapeSnap(t0 time.Time) {
+	if rc.on {
+		rc.cur.snapNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+func (rc *roundCost) addMatch(t0 time.Time, matches int) {
+	if rc.on {
+		rc.cur.matchNs += time.Since(t0).Nanoseconds()
+		rc.cur.matches = matches
+	}
+}
+
+// sample records one fan-out walk. emits is the subscription's detection
+// delta across the walk.
+func (rc *roundCost) sample(g *planGroup, s *subState, t0 time.Time, emits int64) {
+	if rc.on {
+		rc.cur.samples = append(rc.cur.samples,
+			costSample{g: g, s: s, fanoutNs: time.Since(t0).Nanoseconds(), emits: emits})
+	}
+}
+
+// applyCostLocked performs the round's proportional split and folds it
+// into the per-subscription, per-group, and engine accounts plus the cost
+// counters. Shared stage costs split by fan-out time: a shape's private
+// graph and match run across that shape's fan-outs, the union snapshot
+// across every fan-out of the round; a round whose fan-outs are all under
+// the clock resolution splits equally. The caller holds mu.
+func (e *Engine) applyCostLocked(rc *roundCost) {
+	if !rc.on {
+		return
+	}
+	roundNs := time.Since(rc.t0).Nanoseconds()
+	now := time.Now()
+
+	var roundFan int64
+	var nSamples int
+	for i := range rc.shapes {
+		for _, sm := range rc.shapes[i].samples {
+			roundFan += sm.fanoutNs
+			nSamples++
+		}
+	}
+	if nSamples == 0 {
+		return
+	}
+	// weight returns sample share of a pool given the pool's fan-out total.
+	weight := func(fanNs int64, totalFan int64, n int) float64 {
+		if totalFan > 0 {
+			return float64(fanNs) / float64(totalFan)
+		}
+		return 1 / float64(n)
+	}
+
+	var attributed int64
+	var touched []*planGroup
+	for i := range rc.shapes {
+		sc := &rc.shapes[i]
+		var shapeFan int64
+		for _, sm := range sc.samples {
+			shapeFan += sm.fanoutNs
+		}
+		for _, sm := range sc.samples {
+			ws := weight(sm.fanoutNs, shapeFan, len(sc.samples))
+			wr := weight(sm.fanoutNs, roundFan, nSamples)
+			matchShare := int64(float64(sc.matchNs) * ws)
+			shapeSnapShare := int64(float64(sc.snapNs) * ws)
+			unionSnapShare := int64(float64(rc.snapNs) * wr)
+			total := sm.fanoutNs + matchShare + shapeSnapShare + unionSnapShare
+
+			st := &sm.s.cost
+			st.attribNs += total
+			st.fanoutNs += sm.fanoutNs
+			sec := float64(total) / 1e9
+			updateCostRate(&st.rate, &st.rateAt, sec, now)
+			st.ctr.Add(sec)
+
+			gc := &sm.g.cost
+			if gc.roundNs == 0 {
+				touched = append(touched, sm.g)
+			}
+			gc.roundNs += total
+			gc.attribNs += total
+			gc.fanoutNs += sm.fanoutNs
+			gc.matchNs += matchShare
+			gc.snapNs += shapeSnapShare + unionSnapShare
+			gc.matches += int64(sc.matches)
+			gc.emits += sm.emits
+			gc.ctr.Add(sec)
+
+			attributed += total
+		}
+	}
+	for _, g := range touched {
+		updateCostRate(&g.cost.rate, &g.cost.rateAt, float64(g.cost.roundNs)/1e9, now)
+		g.cost.roundNs = 0
+	}
+	e.attribNs += attributed
+	e.roundNs += roundNs
+	e.costRounds++
+}
+
+// updateCostRate folds one round's attributed seconds into a decayed-rate
+// estimator (see costEwmaTau): the standing rate decays by e^(-Δt/τ), the
+// new work enters as an impulse add/τ.
+func updateCostRate(rate *float64, at *time.Time, addSec float64, now time.Time) {
+	if !at.IsZero() {
+		if dt := now.Sub(*at).Seconds(); dt > 0 {
+			*rate *= math.Exp(-dt / costEwmaTau.Seconds())
+		}
+	}
+	*at = now
+	*rate += addSec / costEwmaTau.Seconds()
+}
+
+// costStatsLocked builds the Stats cost section. The caller holds mu.
+func (e *Engine) costStatsLocked(st *Stats) {
+	if !e.costOn {
+		return
+	}
+	st.Cost = EngineCostStats{
+		AttributedSeconds: float64(e.attribNs) / 1e9,
+		RoundSeconds:      float64(e.roundNs) / 1e9,
+		Rounds:            e.costRounds,
+	}
+	for i := range st.Subs {
+		s := e.subs[i]
+		st.Subs[i].Cost = SubCost{
+			Seconds:       float64(s.cost.attribNs) / 1e9,
+			FanoutSeconds: float64(s.cost.fanoutNs) / 1e9,
+			Emits:         s.detections,
+			Share:         share(s.cost.attribNs, e.attribNs),
+			Rate:          s.cost.rate,
+		}
+	}
+	for _, g := range e.groups {
+		st.Groups = append(st.Groups, GroupCostStats{
+			Shape:           g.key.shape,
+			Delta:           g.key.delta,
+			Subs:            len(g.subs),
+			Seconds:         float64(g.cost.attribNs) / 1e9,
+			SnapshotSeconds: float64(g.cost.snapNs) / 1e9,
+			MatchSeconds:    float64(g.cost.matchNs) / 1e9,
+			FanoutSeconds:   float64(g.cost.fanoutNs) / 1e9,
+			MatchesVisited:  g.cost.matches,
+			Emits:           g.cost.emits,
+			Share:           share(g.cost.attribNs, e.attribNs),
+			Rate:            g.cost.rate,
+		})
+	}
+}
+
+func share(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}

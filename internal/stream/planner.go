@@ -47,6 +47,7 @@ type planKey struct {
 type planGroup struct {
 	key  planKey
 	subs []*subState
+	cost groupCostState // attribution account (cost.go)
 }
 
 // enterGroupLocked registers s with the engine: the flat subscription
@@ -65,6 +66,7 @@ func (e *Engine) enterGroupLocked(s *subState) {
 		e.groups = append(e.groups, g)
 	}
 	g.subs = append(g.subs, s)
+	e.attachCostLocked(s, g)
 }
 
 // leaveGroupLocked removes s from its plan group, dropping the group when
@@ -149,17 +151,24 @@ func (e *Engine) finalize(terminal bool) {
 	}
 	var tr roundTrace
 	tr.begin(e)
+	var rc roundCost
+	rc.begin(e)
 	if e.perSub {
 		// Ablation / comparison baseline: the pre-planner per-subscription
 		// path (one graph and one match walk per subscription). The fused
 		// build+walk is not stage-attributable; it lands in fanout.
 		for _, db := range due {
+			rc.shape()
 			for _, s := range db.subs {
+				ct := rc.now()
+				d0 := s.detections
 				e.finalizeSubStandalone(s, w, db.hi)
+				rc.sample(db.group, s, ct, s.detections-d0)
 			}
 		}
 		tr.mark(&tr.fanout)
 		tr.end(e, w, len(due))
+		e.applyCostLocked(&rc)
 		return
 	}
 
@@ -167,11 +176,13 @@ func (e *Engine) finalize(terminal bool) {
 	// every group reads the same arena-backed graph through its own anchor
 	// range, and the arena recycles the previous round's buffers.
 	snapSpan := e.startPlanSpan("finalize.snapshot", tr.span)
+	ct := rc.now()
 	snap, err := e.log.BuildGraphArena(&e.arena, snapLo, snapHi)
 	if err != nil {
 		// Unreachable: the log only holds validated events.
 		panic(fmt.Sprintf("stream: round snapshot: %v", err))
 	}
+	rc.addSnap(ct)
 	e.snapshotBuilds++
 	snapSpan.Annotate(obs.L("events", strconv.Itoa(snap.NumEvents())))
 	snapSpan.End()
@@ -223,13 +234,16 @@ func (e *Engine) finalize(terminal bool) {
 		// (two binary searches), and both paths are exact — the
 		// equivalence oracle runs them all — so this is purely a cost
 		// policy.
+		rc.shape()
 		g := snap
 		if 4*len(e.log.Range(sp.lo, sp.hi)) < snap.NumEvents() {
+			ct := rc.now()
 			sg, err := e.log.BuildGraph(sp.lo, sp.hi)
 			if err != nil {
 				// Unreachable: the log only holds validated events.
 				panic(fmt.Sprintf("stream: shape snapshot: %v", err))
 			}
+			rc.addShapeSnap(ct)
 			e.snapshotBuilds++
 			g = sg
 			tr.mark(&tr.snap)
@@ -241,7 +255,10 @@ func (e *Engine) finalize(terminal bool) {
 			db := due[sp.bands[0]]
 			e.matchRuns++
 			fanSpan := e.startPlanSpan("finalize.fanout", planSpan)
+			ct := rc.now()
+			d0 := db.subs[0].detections
 			e.enumerateBand(g, db.subs[0], nil, db.hi, w, false)
+			rc.sample(db.group, db.subs[0], ct, db.subs[0].detections-d0)
 			fanSpan.End()
 			planSpan.End()
 			tr.mark(&tr.fanout)
@@ -249,11 +266,13 @@ func (e *Engine) finalize(terminal bool) {
 		}
 		mo := due[sp.bands[0]].subs[0].sub.Motif
 		matchSpan := e.startPlanSpan("finalize.match", planSpan)
+		ct = rc.now()
 		matches, err := core.CollectMatches(g, mo, sp.maxDelta)
 		if err != nil {
 			// Unreachable: δ was validated when the subscription was added.
 			panic(fmt.Sprintf("stream: collect matches: %v", err))
 		}
+		rc.addMatch(ct, len(matches))
 		e.matchRuns++
 		e.matchesShared += int64(len(matches)) * int64(sp.nsubs-1)
 		matchSpan.Annotate(obs.L("matches", strconv.Itoa(len(matches))))
@@ -263,7 +282,10 @@ func (e *Engine) finalize(terminal bool) {
 		for _, bi := range sp.bands {
 			db := due[bi]
 			for _, s := range db.subs {
+				ct := rc.now()
+				d0 := s.detections
 				e.enumerateBand(g, s, matches, db.hi, w, true)
+				rc.sample(db.group, s, ct, s.detections-d0)
 			}
 		}
 		fanSpan.End()
@@ -271,6 +293,7 @@ func (e *Engine) finalize(terminal bool) {
 		tr.mark(&tr.fanout)
 	}
 	tr.end(e, w, len(due))
+	e.applyCostLocked(&rc)
 }
 
 // enumerateBand advances one subscription's emitted bound to hi,

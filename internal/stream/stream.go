@@ -90,6 +90,12 @@ type Config struct {
 	// reads — while keeping metrics; the tracing overhead gate compares
 	// against this. DisableObs implies it.
 	DisableTrace bool
+	// DisableCostAttribution turns per-subscription cost attribution
+	// (cost.go, DESIGN.md §14) off — no per-stage clock reads and no
+	// SubCost/group-cost accounting — while keeping the rest of the
+	// metrics; the attribution overhead gate compares against this.
+	// DisableObs implies it.
+	DisableCostAttribution bool
 }
 
 // Detection is one finalized maximal motif instance, self-contained (it
@@ -138,6 +144,9 @@ type SubStats struct {
 	Detections     int64   `json:"detections"`
 	Bands          int64   `json:"bands"`          // finalized anchor bands enumerated
 	EmittedThrough int64   `json:"emittedThrough"` // anchors <= this are finalized
+	// Cost is the subscription's attributed-cost account (DESIGN.md §14);
+	// zero when attribution is off.
+	Cost SubCost `json:"cost"`
 }
 
 // Stats reports engine progress.
@@ -161,6 +170,10 @@ type Stats struct {
 	MatchRuns      int64      `json:"matchRuns"`
 	MatchesShared  int64      `json:"matchesShared"`
 	Subs           []SubStats `json:"subs"`
+	// Cost is the engine-level attribution account and Groups the per-plan-
+	// group breakdown (DESIGN.md §14); zero/absent when attribution is off.
+	Cost   EngineCostStats  `json:"cost"`
+	Groups []GroupCostStats `json:"groups,omitempty"`
 }
 
 type subState struct {
@@ -169,6 +182,7 @@ type subState struct {
 	primed     bool
 	detections int64
 	bands      int64
+	cost       subCostState // attribution account (cost.go)
 }
 
 // Engine is the streaming motif detector.
@@ -209,6 +223,14 @@ type Engine struct {
 	logger    *slog.Logger
 	slowRound time.Duration
 	arrivedAt time.Time
+
+	// Cost attribution (cost.go, DESIGN.md §14). costOn gates the per-stage
+	// clock reads; attribNs/roundNs/costRounds are the engine-level
+	// attributed-vs-measured account the oracle test compares.
+	costOn     bool
+	attribNs   int64
+	roundNs    int64
+	costRounds int64
 
 	// Tracing (DESIGN.md §13). tracer is immutable after construction
 	// (nil: tracing off); curSpan is the in-flight call's root span,
@@ -256,6 +278,7 @@ func NewEngine(cfg Config, sink Sink) (*Engine, error) {
 			e.obsReg = obs.NewRegistry()
 		}
 		e.mx = newEngineMetrics(e.obsReg)
+		e.costOn = !cfg.DisableCostAttribution
 		if !cfg.DisableTrace {
 			e.tracer = cfg.Tracer
 			if e.tracer == nil {
@@ -655,6 +678,7 @@ func (e *Engine) Stats() Stats {
 			EmittedThrough: s.emitted,
 		})
 	}
+	e.costStatsLocked(&st)
 	return st
 }
 
