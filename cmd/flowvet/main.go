@@ -1,0 +1,90 @@
+// Command flowvet runs the repo's project-specific analyzer suite
+// (internal/analysis/checks) over the packages matching the given
+// patterns and exits non-zero if any diagnostic survives suppression.
+//
+// Usage:
+//
+//	go run ./cmd/flowvet ./...
+//	go run ./cmd/flowvet -list
+//	go run ./cmd/flowvet -only hotpathclock ./internal/stream/...
+//
+// Suppress a single finding with a justified in-source comment:
+//
+//	x := fmt.Sprintf(...) //flowvet:ignore metricname bounded enum, see DESIGN §15
+//
+// See DESIGN.md §15 for the invariants each analyzer enforces and the
+// //flowmotif:hotpath / //flowmotif:obsgate annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flowmotif/internal/analysis/checks"
+	"flowmotif/internal/analysis/flowvet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flowvet [-list] [-only name,name] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := checks.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var filtered []*flowvet.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "flowvet: unknown analyzer %q (use -list)\n", n)
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flowvet: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := flowvet.LoadProgram(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	diags, err := flowvet.Run(prog, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "flowvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flowmotif/internal/analysis/flowvet"
+)
+
+// Failstop enforces the engine's poison discipline: once an Engine has
+// failed (failErr set), every exported mutating entry point must refuse
+// to touch state. Mechanically: an exported method on *stream.Engine
+// that assigns to a receiver field must read the poison — a call to
+// failedLocked / failed or a direct read of the failErr field — before
+// its first receiver-field mutation. Methods that merely delegate to
+// another exported Engine method inherit that method's check.
+var Failstop = &flowvet.Analyzer{
+	Name: "failstop",
+	Doc: "exported stream.Engine mutating methods must check the poison error " +
+		"(failedLocked/failErr) before mutating receiver state",
+	Run: runFailstop,
+}
+
+// poisonReads are the accepted forms of a poison check.
+var poisonCheckFuncs = map[string]bool{"failedLocked": true, "failed": true}
+
+const poisonField = "failErr"
+
+func runFailstop(pass *flowvet.Pass) error {
+	if !isStreamPkgPath(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, typeName, isPtr := receiverOf(fd)
+			if !isPtr || typeName != "Engine" || recvName == "" || recvName == "_" {
+				continue
+			}
+			if delegatesToEngineMethod(info, fd, recvName) {
+				continue
+			}
+			mutPos, checkPos := scanPoisonOrder(info, fd, recvName)
+			if mutPos.IsValid() && (!checkPos.IsValid() || checkPos > mutPos) {
+				pass.Reportf(mutPos,
+					"Engine.%s mutates receiver state before checking the fail-stop poison (%s.failedLocked()/%s.%s)",
+					fd.Name.Name, recvName, recvName, poisonField)
+			}
+		}
+	}
+	return nil
+}
+
+// delegatesToEngineMethod reports whether the body is a thin wrapper:
+// every statement is a return of / expression call to another exported
+// method on the same receiver (which carries its own poison check).
+func delegatesToEngineMethod(info *types.Info, fd *ast.FuncDecl, recvName string) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	isDelegatingCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !sel.Sel.IsExported() {
+			return false
+		}
+		x, ok := ast.Unparen(sel.X).(*ast.Ident)
+		return ok && x.Name == recvName
+	}
+	for _, stmt := range fd.Body.List {
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if !isDelegatingCall(r) {
+					return false
+				}
+			}
+			if len(s.Results) == 0 {
+				return false
+			}
+		case *ast.ExprStmt:
+			if !isDelegatingCall(s.X) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// scanPoisonOrder walks the body in source order and returns the
+// position of the first receiver-field mutation and of the first poison
+// check. Mutex lock/unlock calls and assignments inside deferred
+// closures are not mutations for this purpose.
+func scanPoisonOrder(info *types.Info, fd *ast.FuncDecl, recvName string) (mutPos, checkPos token.Pos) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred/closure writes run later, under their own check
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok && x.Name == recvName {
+					if poisonCheckFuncs[sel.Sel.Name] && !checkPos.IsValid() {
+						checkPos = n.Pos()
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == poisonField {
+				if x, ok := ast.Unparen(n.X).(*ast.Ident); ok && x.Name == recvName && !checkPos.IsValid() {
+					checkPos = n.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if p := recvFieldTarget(lhs, recvName); p.IsValid() && !mutPos.IsValid() {
+					mutPos = p
+				}
+			}
+		case *ast.IncDecStmt:
+			if p := recvFieldTarget(n.X, recvName); p.IsValid() && !mutPos.IsValid() {
+				mutPos = p
+			}
+		}
+		return true
+	})
+	return mutPos, checkPos
+}
+
+// recvFieldTarget returns the position of lhs when it writes through a
+// receiver field (e.f = ..., e.f[i] = ..., e.f.g = ...), NoPos otherwise.
+func recvFieldTarget(lhs ast.Expr, recvName string) token.Pos {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if x, ok := ast.Unparen(e.X).(*ast.Ident); ok && x.Name == recvName {
+				return e.Pos()
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return token.NoPos
+		}
+	}
+}

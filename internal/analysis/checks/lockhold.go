@@ -1,0 +1,312 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"flowmotif/internal/analysis/flowvet"
+)
+
+// Lockhold flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held in the latency-sensitive packages
+// (internal/stream, internal/cluster, internal/server): channel sends
+// and receives, select statements, calls into os/net, and RPCs on the
+// cluster Member interface. Any of these under a mutex turns one slow
+// peer or full pipe into a stall of every goroutine contending for the
+// lock — the exact failure mode the replicator's drain-outside-the-lock
+// structure exists to prevent.
+//
+// The analysis is intra-procedural and under-approximate: a region
+// opens at mu.Lock()/mu.RLock() and closes at the matching
+// mu.Unlock()/mu.RUnlock() on the same expression, or at function end
+// for `defer mu.Unlock()`. Function literals are analyzed separately
+// (goroutines spawned under a lock do not hold it).
+var Lockhold = &flowvet.Analyzer{
+	Name: "lockhold",
+	Doc: "no channel operations, os/net calls, or Member RPCs while holding a " +
+		"mutex in internal/stream, internal/cluster, internal/server",
+	Run: runLockhold,
+}
+
+var lockholdPkgs = []string{"internal/stream", "internal/cluster", "internal/server"}
+
+func runLockhold(pass *flowvet.Pass) error {
+	applies := false
+	for _, suffix := range lockholdPkgs {
+		if isPkg(pass.Pkg.Path, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockRegions(pass, info, fd.Body.List, map[string]bool{})
+			// Function literals get their own empty lock state.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockRegions(pass, info, fl.Body.List, map[string]bool{})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// lockCall classifies a statement as a mutex acquire/release, returning
+// a key identifying the mutex expression (its printed form).
+func lockCall(info *types.Info, call *ast.CallExpr) (key string, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	// The receiver must be a sync mutex (directly or via embedding).
+	if sigRecv := recvOfMethod(info, sel); sigRecv == "" {
+		return "", false, false
+	}
+	return exprKey(sel.X), acquire, release
+}
+
+// recvOfMethod returns "Mutex"/"RWMutex" when sel resolves to a method
+// of sync.Mutex or sync.RWMutex, "" otherwise.
+func recvOfMethod(info *types.Info, sel *ast.SelectorExpr) string {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		if s, ok2 := info.Selections[sel]; ok2 {
+			fn, ok = s.Obj().(*types.Func)
+		}
+		if !ok {
+			return ""
+		}
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	return recvTypeName(fn)
+}
+
+// exprKey renders an expression to a comparison key: `c.mu` and `c.mu`
+// match, `a.mu` and `b.mu` do not.
+func exprKey(e ast.Expr) string {
+	var b strings.Builder
+	writeExprKey(&b, e)
+	return b.String()
+}
+
+func writeExprKey(b *strings.Builder, e ast.Expr) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExprKey(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.StarExpr:
+		writeExprKey(b, e.X)
+	case *ast.UnaryExpr:
+		writeExprKey(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// checkLockRegions walks stmts tracking the set of held mutex keys and
+// reports blocking operations while the set is non-empty. Branch arms
+// are analyzed with a copy of the state; an Unlock inside one arm of a
+// branch conservatively ends the region for the remainder (the analyzer
+// under-approximates rather than false-positives).
+func checkLockRegions(pass *flowvet.Pass, info *types.Info, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, acq, rel := lockCall(info, call); acq || rel {
+					if acq {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			reportBlocking(pass, info, s, held)
+		case *ast.DeferStmt:
+			if key, _, rel := lockCall(info, s.Call); rel {
+				// defer mu.Unlock(): held to function end; keep state.
+				_ = key
+				continue
+			}
+			// Other defers run after the region in source order; skip.
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold our locks; its body
+			// is checked separately with empty state. Argument
+			// expressions evaluate now, though.
+			for _, arg := range s.Call.Args {
+				reportBlocking(pass, info, arg, held)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				reportBlocking(pass, info, s.Init, held)
+			}
+			reportBlocking(pass, info, s.Cond, held)
+			checkLockRegions(pass, info, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					checkLockRegions(pass, info, e.List, copyHeld(held))
+				case *ast.IfStmt:
+					checkLockRegions(pass, info, []ast.Stmt{e}, copyHeld(held))
+				}
+			}
+			// If either arm released a lock we keep the pre-branch
+			// state only for locks not released anywhere inside —
+			// approximate by dropping any key released in the subtree.
+			dropReleased(info, s, held)
+		case *ast.ForStmt:
+			checkLockRegions(pass, info, s.Body.List, copyHeld(held))
+			dropReleased(info, s, held)
+		case *ast.RangeStmt:
+			reportBlocking(pass, info, s.X, held)
+			checkLockRegions(pass, info, s.Body.List, copyHeld(held))
+			dropReleased(info, s, held)
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					checkLockRegions(pass, info, c.Body, copyHeld(held))
+				}
+			}
+			dropReleased(info, s, held)
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					checkLockRegions(pass, info, c.Body, copyHeld(held))
+				}
+			}
+			dropReleased(info, s, held)
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				pass.Reportf(s.Pos(), "select statement while holding %s", heldNames(held))
+			}
+		case *ast.BlockStmt:
+			checkLockRegions(pass, info, s.List, held)
+		case *ast.LabeledStmt:
+			checkLockRegions(pass, info, []ast.Stmt{s.Stmt}, held)
+		default:
+			reportBlocking(pass, info, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// dropReleased removes from held any mutex key that some statement in
+// the subtree releases — the conservative direction for a may-analysis.
+func dropReleased(info *types.Info, n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if key, _, rel := lockCall(info, call); rel {
+				delete(held, key)
+			}
+		}
+		return true
+	})
+}
+
+// blockingPkgs are import paths whose calls block on the outside world.
+var blockingPkgs = map[string]bool{"os": true, "net": true}
+
+func isBlockingPkg(path string) bool {
+	return blockingPkgs[path] || strings.HasPrefix(path, "net/")
+}
+
+// reportBlocking inspects one statement/expression for channel
+// operations and blocking calls under held locks.
+func reportBlocking(pass *flowvet.Pass, info *types.Info, n ast.Node, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // closure body runs later / elsewhere
+		case *ast.SendStmt:
+			pass.Reportf(m.Pos(), "channel send while holding %s", heldNames(held))
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				pass.Reportf(m.Pos(), "channel receive while holding %s", heldNames(held))
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(info, m)
+			if fn == nil {
+				return true
+			}
+			if isBlockingPkg(pkgPathOf(fn)) {
+				pass.Reportf(m.Pos(), "call to %s.%s while holding %s",
+					pkgPathOf(fn), fn.Name(), heldNames(held))
+			}
+			if isMemberRPC(info, m, fn) {
+				pass.Reportf(m.Pos(), "Member RPC %s while holding %s", fn.Name(), heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// isMemberRPC reports whether the call invokes a method on the cluster
+// Member interface (the remote-peer RPC surface).
+func isMemberRPC(info *types.Info, call *ast.CallExpr, fn *types.Func) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Member" && obj.Pkg() != nil && isPkg(obj.Pkg().Path(), "internal/cluster")
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) == 1 {
+		return "mutex " + names[0]
+	}
+	return "mutexes " + strings.Join(names, ", ")
+}

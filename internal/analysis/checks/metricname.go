@@ -1,0 +1,119 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"flowmotif/internal/analysis/flowvet"
+)
+
+// Metricname keeps the metric namespace coherent with the DESIGN.md
+// catalog: every name passed to a Registry constructor
+// (Counter/FloatCounter/Gauge/Histogram) must be a compile-time string
+// constant matching the `flowmotif_` Prometheus grammar or the internal
+// dotted grammar; label keys must be constants; and label values must
+// not be produced by fmt.Sprintf/Sprint at the call site — formatting
+// an unbounded input into a label is how cardinality explosions start.
+var Metricname = &flowvet.Analyzer{
+	Name: "metricname",
+	Doc: "metric and label names passed to the obs registry must be string " +
+		"constants in the flowmotif_/dotted grammar; label values must not be " +
+		"fmt.Sprintf output",
+	Run: runMetricname,
+}
+
+var (
+	promNameRE   = regexp.MustCompile(`^flowmotif_[a-z][a-z0-9_]*$`)
+	dottedNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+	labelKeyRE   = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+// registryCtors are the Registry methods whose first argument is a
+// metric name and whose trailing ...Label arguments carry label pairs.
+var registryCtors = map[string]bool{
+	"Counter": true, "FloatCounter": true, "Gauge": true, "Histogram": true,
+}
+
+func runMetricname(pass *flowvet.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil || !isObsPkgPath(pkgPathOf(fn)) {
+				return true
+			}
+			switch {
+			case registryCtors[fn.Name()] && recvTypeName(fn) == "Registry":
+				checkMetricName(pass, info, call.Args[0])
+			case fn.Name() == "L" && recvTypeName(fn) == "":
+				// Every obs.L(k, v) call is checked at its own site —
+				// whether inline in a ctor call, prebuilt into a
+				// variable, or spread from a slice.
+				checkLabelCall(pass, info, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMetricName(pass *flowvet.Pass, info *types.Info, arg ast.Expr) {
+	name, isConst := constString(info, arg)
+	if !isConst {
+		pass.Reportf(arg.Pos(), "metric name must be a compile-time string constant, not a computed value")
+		return
+	}
+	if !promNameRE.MatchString(name) && !dottedNameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(),
+			"metric name %q does not match the flowmotif_[a-z0-9_]* or dotted-name grammar", name)
+	}
+}
+
+func checkLabelCall(pass *flowvet.Pass, info *types.Info, call *ast.CallExpr) {
+	if len(call.Args) != 2 {
+		return
+	}
+	key, isConst := constString(info, call.Args[0])
+	if !isConst {
+		pass.Reportf(call.Args[0].Pos(), "label key must be a compile-time string constant")
+	} else if !labelKeyRE.MatchString(key) {
+		pass.Reportf(call.Args[0].Pos(), "label key %q does not match [a-z_][a-z0-9_]*", key)
+	}
+	if sprintfCall(info, call.Args[1]) {
+		pass.Reportf(call.Args[1].Pos(),
+			"label value built with fmt.Sprintf: unbounded inputs here explode metric cardinality; use a fixed enum or strconv on a bounded value")
+	}
+}
+
+// sprintfCall reports whether e is directly a fmt.Sprintf/Sprint/
+// Sprintln call.
+func sprintfCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || pkgPathOf(fn) != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Sprintf", "Sprint", "Sprintln":
+		return true
+	}
+	return false
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

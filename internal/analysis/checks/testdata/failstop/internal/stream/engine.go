@@ -1,0 +1,55 @@
+// Package stream is the failstop fixture: an Engine with the repo's
+// fail-stop poison protocol (failErr + failedLocked) and exported
+// mutators that do and don't respect it.
+package stream
+
+import "errors"
+
+var ErrFailStopped = errors.New("stream: engine fail-stopped")
+
+type Engine struct {
+	mu      chan struct{} // stand-in; the analyzer keys on fields, not sync
+	failErr error
+	count   int64
+	marks   []int64
+}
+
+func (e *Engine) failedLocked() error { return e.failErr }
+
+// Ingest checks the poison before its first mutation: compliant.
+func (e *Engine) Ingest(n int64) error {
+	if err := e.failedLocked(); err != nil {
+		return err
+	}
+	e.count += n
+	return nil
+}
+
+// Mark reads failErr directly before mutating: also compliant.
+func (e *Engine) Mark(t int64) error {
+	if e.failErr != nil {
+		return ErrFailStopped
+	}
+	e.marks = append(e.marks, t)
+	return nil
+}
+
+// Reset mutates first and only then consults the poison: flagged.
+func (e *Engine) Reset() error {
+	e.count = 0 // want `Engine\.Reset mutates receiver state before checking the fail-stop poison`
+	e.marks = nil
+	return e.failedLocked()
+}
+
+// Restore never checks at all: flagged.
+func (e *Engine) Restore(count int64) {
+	e.count = count // want `Engine\.Restore mutates receiver state before checking the fail-stop poison`
+}
+
+// Flush delegates to a checked exported method: exempt.
+func (e *Engine) Flush() error {
+	return e.Ingest(0)
+}
+
+// Count reads without mutating: no check required.
+func (e *Engine) Count() int64 { return e.count }

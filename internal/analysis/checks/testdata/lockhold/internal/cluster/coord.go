@@ -1,0 +1,68 @@
+// Package cluster is the lockhold fixture: blocking operations inside
+// and outside mutex regions, including the deferred-unlock form and the
+// Member RPC surface.
+package cluster
+
+import (
+	"os"
+	"sync"
+)
+
+// Member is the RPC surface; calls on it may leave the process.
+type Member interface {
+	ID() string
+	Flush() error
+}
+
+type Coordinator struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	ch    chan int
+	peer  Member
+	seq   int64
+}
+
+// Bad holds mu across a send, an RPC, and an os call.
+func (c *Coordinator) Bad() {
+	c.mu.Lock()
+	c.ch <- 1                      // want `channel send while holding mutex c\.mu`
+	_ = c.peer.ID()                // want `Member RPC ID while holding mutex c\.mu`
+	_, _ = os.ReadFile("manifest") // want `call to os\.ReadFile while holding mutex c\.mu`
+	c.mu.Unlock()
+	c.ch <- 2 // released: fine
+}
+
+// DeferBad: a deferred unlock keeps the region open to function end.
+func (c *Coordinator) DeferBad() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.peer.Flush() // want `Member RPC Flush while holding mutex c\.mu`
+}
+
+// ReadBad: RWMutex read locks count too.
+func (c *Coordinator) ReadBad() int {
+	c.state.RLock()
+	v := <-c.ch // want `channel receive while holding mutex c\.state`
+	c.state.RUnlock()
+	return v
+}
+
+// Good copies state under the lock and does the blocking work outside —
+// the replicator's drain pattern.
+func (c *Coordinator) Good() error {
+	c.mu.Lock()
+	peer := c.peer
+	c.mu.Unlock()
+	c.ch <- 3
+	return peer.Flush()
+}
+
+// Spawned goroutines do not hold the spawner's locks.
+func (c *Coordinator) GoodAsync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.ch <- 4
+	}()
+}

@@ -1,0 +1,40 @@
+// Package obs is the metricname fixture's miniature registry surface:
+// just enough shape (Registry ctors + L) for the analyzer to latch on.
+package obs
+
+type Label struct{ Key, Value string }
+
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+type (
+	Counter      struct{ n int64 }
+	FloatCounter struct{ v float64 }
+	Gauge        struct{ v int64 }
+	Histogram    struct{ sum float64 }
+)
+
+type Registry struct{ names []string }
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.names = append(r.names, name)
+	_, _ = help, labels
+	return &Counter{}
+}
+
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	r.names = append(r.names, name)
+	_, _ = help, labels
+	return &FloatCounter{}
+}
+
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.names = append(r.names, name)
+	_, _ = help, labels
+	return &Gauge{}
+}
+
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.names = append(r.names, name)
+	_, _, _ = help, bounds, labels
+	return &Histogram{}
+}

@@ -1,0 +1,33 @@
+// Package metrics seeds metricname violations: non-constant and
+// off-grammar names, bad label keys, and Sprintf-built label values.
+package metrics
+
+import (
+	"fmt"
+
+	"fixture/internal/obs"
+)
+
+const roundsName = "flowmotif_rounds_total" // constants are fine
+
+func Register(r *obs.Registry, shard int, host string) {
+	// Compliant: flowmotif_ grammar, dotted grammar, named constant.
+	r.Counter(roundsName, "rounds")
+	r.Gauge("flowmotif_watermark", "frontier")
+	r.Histogram("engine.finalize.seconds", "round latency", nil)
+
+	r.Counter("BadName", "caps")        // want `metric name "BadName" does not match`
+	r.FloatCounter("flowmotif-", "sep") // want `metric name "flowmotif-" does not match`
+
+	computed := "flowmotif_shard_" + fmt.Sprint(shard)
+	r.Counter(computed, "computed") // want `metric name must be a compile-time string constant`
+
+	// Labels: constant keys in [a-z_][a-z0-9_]*, values never Sprintf.
+	r.Counter("flowmotif_deliveries_total", "ok", obs.L("member", host))
+	r.Counter("flowmotif_lag_seconds", "bad key", obs.L("Shard-ID", "0")) // want `label key "Shard-ID" does not match`
+	r.Gauge("flowmotif_depth", "bad value",
+		obs.L("shard", fmt.Sprintf("%d-%s", shard, host))) // want `label value built with fmt.Sprintf`
+
+	key := "member"
+	r.Counter("flowmotif_acks_total", "computed key", obs.L(key, host)) // want `label key must be a compile-time string constant`
+}

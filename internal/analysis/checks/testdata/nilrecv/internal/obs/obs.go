@@ -1,0 +1,52 @@
+// Package obs is the nilrecv fixture: instrument types whose exported
+// pointer-receiver methods must open with a nil-receiver guard.
+package obs
+
+type Counter struct{ n int64 }
+
+// Add opens with the guard: compliant.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { // want `exported method \(\*Gauge\)\.Set must begin with a nil-receiver guard`
+	g.v = v
+}
+
+// Get guards with a compound condition mentioning the receiver: fine.
+func (g *Gauge) Get() int64 {
+	if g == nil || g.v < 0 {
+		return 0
+	}
+	return g.v
+}
+
+type Histogram struct{ buckets []int64 }
+
+// reset is unexported: call sites inside the package own the nil check.
+func (h *Histogram) reset() { h.buckets = nil }
+
+// value receivers carry no nil hazard.
+func (h Histogram) Len() int { return len(h.buckets) }
+
+type Tracer struct{ spans int }
+
+func (t *Tracer) StartSpan(name string) *TraceSpan { // want `exported method \(\*Tracer\)\.StartSpan must begin with a nil-receiver guard`
+	t.spans++
+	_ = name
+	return &TraceSpan{}
+}
+
+type TraceSpan struct{ done bool }
+
+func (s *TraceSpan) End() {
+	if s == nil {
+		return
+	}
+	s.done = true
+}

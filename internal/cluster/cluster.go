@@ -306,6 +306,8 @@ func (c *Coordinator) Ingest(events []temporal.Event) (IngestAck, error) {
 // layer passes its "http.ingest" request span so the batch's whole
 // lifecycle — append, replication deliveries, member-side finalize and
 // emit — lands in one trace with the HTTP request as the root.
+//
+//flowmotif:hotpath
 func (c *Coordinator) IngestTraced(events []temporal.Event, parent obs.SpanContext) (IngestAck, error) {
 	if len(events) == 0 {
 		return IngestAck{Watermark: c.Watermark()}, nil
@@ -314,8 +316,11 @@ func (c *Coordinator) IngestTraced(events []temporal.Event, parent obs.SpanConte
 	// it): "ingest.append" anchors the replication deliveries and the
 	// member-side ingest/finalize spans. Its trace ID travels back in the
 	// ack, keying the full stitched tree in /debug/traces.
-	root := c.tracer.StartSpan("ingest.append", parent,
-		obs.L("events", strconv.Itoa(len(events))))
+	var root *obs.TraceSpan
+	if c.tracer != nil {
+		root = c.tracer.StartSpan("ingest.append", parent,
+			obs.L("events", strconv.Itoa(len(events))))
+	}
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
 	c.mu.Lock()
@@ -354,7 +359,13 @@ func (c *Coordinator) IngestTraced(events []temporal.Event, parent obs.SpanConte
 	if len(c.repl) == 0 {
 		c.replBase = seq
 	}
-	c.repl = append(c.repl, logEntry{seq: seq, events: batch, appendedAt: time.Now(), sc: root.Context()})
+	// appendedAt feeds only the replication-lag histogram; skip the clock
+	// read when no consumer is armed.
+	var appended time.Time
+	if c.mxReplLag != nil {
+		appended = time.Now()
+	}
+	c.repl = append(c.repl, logEntry{seq: seq, events: batch, appendedAt: appended, sc: root.Context()})
 	c.logEvents += len(batch)
 	c.watermark = last
 	c.started = true
@@ -363,7 +374,9 @@ func (c *Coordinator) IngestTraced(events []temporal.Event, parent obs.SpanConte
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.minNextT = last
-	root.Annotate(obs.L("seq", strconv.FormatInt(seq, 10)))
+	if root != nil {
+		root.Annotate(obs.L("seq", strconv.FormatInt(seq, 10)))
+	}
 	root.End()
 	return IngestAck{Ingested: len(batch), Watermark: last, Seq: seq, Trace: root.Context().Trace}, nil
 }
@@ -389,14 +402,15 @@ func (c *Coordinator) Flush() (IngestAck, error) {
 		c.mu.Unlock()
 		return IngestAck{}, errors.Join(ErrNoMembers, reapErr)
 	}
-	states := make([]*memberState, 0, len(c.members))
-	for _, id := range c.memberIDsLocked() {
+	ids := c.memberIDsLocked()
+	states := make([]*memberState, 0, len(ids))
+	for _, id := range ids {
 		states = append(states, c.members[id])
 	}
 	c.mu.Unlock()
 	var agg IngestAck
 	var failed []string
-	for _, ms := range states {
+	for i, ms := range states {
 		var ack IngestAck
 		err := c.retry(func() error {
 			var e error
@@ -404,7 +418,7 @@ func (c *Coordinator) Flush() (IngestAck, error) {
 			return e
 		})
 		if errors.Is(err, ErrMemberDown) {
-			failed = append(failed, ms.m.ID())
+			failed = append(failed, ids[i])
 			continue
 		}
 		if err != nil {
@@ -439,7 +453,10 @@ func (c *Coordinator) Flush() (IngestAck, error) {
 		}
 		c.mu.Unlock()
 		for _, ms := range states {
-			if ack, err := ms.m.Flush(); err == nil {
+			// Ingest is quiesced for the whole flush by design: the
+			// marker must not interleave with new batches, so this RPC
+			// intentionally runs under ingestMu (never under c.mu).
+			if ack, err := ms.m.Flush(); err == nil { //flowvet:ignore lockhold flush quiesces ingest by design
 				agg.Detections += ack.Detections
 			}
 		}
@@ -610,12 +627,15 @@ func (c *Coordinator) FailMember(id string) error {
 // live (finalization bound + catch-up events + sink state) from its
 // current owner. Ingest is quiesced for the duration.
 func (c *Coordinator) AddMember(m Member) error {
+	// Resolve the ID once before taking any lock: Member is the RPC
+	// surface, so for a remote member ID() may leave the process.
+	id := m.ID()
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
 	c.mu.Lock()
-	if _, dup := c.members[m.ID()]; dup || m.ID() == "" {
+	if _, dup := c.members[id]; dup || id == "" {
 		c.mu.Unlock()
-		return fmt.Errorf("cluster: member id %q empty or already registered", m.ID())
+		return fmt.Errorf("cluster: member id %q empty or already registered", id)
 	}
 	c.mu.Unlock()
 	// Quiesce the pipeline: survivors at the log head, failed members
@@ -632,7 +652,7 @@ func (c *Coordinator) AddMember(m Member) error {
 		ackedW:   math.MinInt64,
 		done:     make(chan struct{}),
 	}
-	c.members[m.ID()] = ms
+	c.members[id] = ms
 	ids := c.memberIDsLocked()
 	subIDs := sortedKeys(c.subs)
 	c.mu.Unlock()

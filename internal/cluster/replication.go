@@ -69,6 +69,8 @@ func (c *Coordinator) pipelineFullLocked() bool {
 // with retries, and records the ack. It exits when the member is stopped
 // (removed, reaped, or the coordinator closed) or when delivery fails
 // terminally (the member is then flagged for reap).
+//
+//flowmotif:hotpath
 func (c *Coordinator) replicate(ms *memberState) {
 	defer close(ms.done)
 	for {
@@ -124,24 +126,35 @@ func (c *Coordinator) replicate(ms *memberState) {
 		c.mu.Unlock()
 
 		c.mxCoalesce.Observe(float64(n))
-		dsp := c.spanIf("replicate.deliver", parent,
-			obs.L("member", ms.m.ID()),
-			obs.L("seq", strconv.FormatInt(seq, 10)),
-			obs.L("events", strconv.Itoa(n)))
-		if seq > first {
-			dsp.Annotate(obs.L("coalesced_batches", strconv.FormatInt(seq-first+1, 10)))
-			if len(coalescedTraces) > 0 {
-				dsp.Annotate(obs.L("coalesced_traces", strings.Join(coalescedTraces, ",")))
+		var dsp *obs.TraceSpan
+		if c.tracer != nil {
+			dsp = c.spanIf("replicate.deliver", parent,
+				obs.L("member", ms.m.ID()),
+				obs.L("seq", strconv.FormatInt(seq, 10)),
+				obs.L("events", strconv.Itoa(n)))
+			if seq > first {
+				dsp.Annotate(obs.L("coalesced_batches", strconv.FormatInt(seq-first+1, 10)))
+				if len(coalescedTraces) > 0 {
+					dsp.Annotate(obs.L("coalesced_traces", strings.Join(coalescedTraces, ",")))
+				}
 			}
 		}
-		t0 := time.Now()
+		var t0 time.Time
+		if c.mxDeliver != nil {
+			t0 = time.Now()
+		}
 		ack, err := c.deliver(ms, Batch{Seq: seq, Events: evs, Traceparent: traceparentOf(dsp.Context())})
-		c.mxDeliver.ObserveExemplar(time.Since(t0).Seconds(), parent.Trace)
+		if c.mxDeliver != nil {
+			c.mxDeliver.ObserveExemplar(time.Since(t0).Seconds(), parent.Trace)
+		}
 		if err != nil {
 			dsp.Annotate(obs.L("error", err.Error()))
 		}
 		dsp.End()
-		now := time.Now()
+		var now time.Time
+		if c.mxReplLag != nil {
+			now = time.Now()
+		}
 
 		c.mu.Lock()
 		if ms.stopped {
@@ -161,9 +174,11 @@ func (c *Coordinator) replicate(ms *memberState) {
 		}
 		// The acked entries are still in the log: trimming needs every live
 		// member past them, and this member's own ack only lands below.
-		for s := first; s <= seq; s++ {
-			e := c.entryLocked(s)
-			c.mxReplLag.ObserveExemplar(now.Sub(e.appendedAt).Seconds(), e.sc.Trace)
+		if c.mxReplLag != nil {
+			for s := first; s <= seq; s++ {
+				e := c.entryLocked(s)
+				c.mxReplLag.ObserveExemplar(now.Sub(e.appendedAt).Seconds(), e.sc.Trace)
+			}
 		}
 		ms.ackedSeq = seq
 		ms.ackedW = ack.Watermark

@@ -267,7 +267,7 @@ func (s Span) End() time.Duration {
 // records the time since the previous mark into the given histogram and
 // advances the mark. The zero Timer is inert.
 type Timer struct {
-	on   bool
+	on   bool //flowmotif:obsgate
 	last time.Time
 }
 
@@ -277,7 +277,7 @@ func StartTimer() Timer { return Timer{on: true, last: time.Now()} }
 // Stage records the time since the last mark into h (nil h: the duration
 // is still returned) and advances the mark.
 func (t *Timer) Stage(h *Histogram) time.Duration {
-	if !t.on {
+	if t == nil || !t.on {
 		return 0
 	}
 	now := time.Now()

@@ -55,7 +55,9 @@ type segmentInfo struct {
 func (si *segmentInfo) endSeq() int64 { return si.firstSeq + si.count }
 
 func segmentPath(walDir string, index int64) string {
-	return filepath.Join(walDir, fmt.Sprintf("%016d%s", index, segSuffix))
+	// Runs once per segment rotation — amortized over segMaxRecords
+	// appends, not per-append work.
+	return filepath.Join(walDir, fmt.Sprintf("%016d%s", index, segSuffix)) //flowvet:ignore hotpathclock rotation-rate, not per-append
 }
 
 func encodeHeader(buf *[segHeaderLen]byte, si *segmentInfo) {

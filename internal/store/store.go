@@ -289,6 +289,8 @@ func segStat(si *segmentInfo) SegmentStat {
 // timestamp is rejected whole, mirroring stream.Engine's ingest contract.
 // The batch is flushed to the OS before Append returns; with Options.Sync
 // it is also fsynced.
+//
+//flowmotif:hotpath
 func (s *Store) Append(events []temporal.Event) error {
 	if len(events) == 0 {
 		return nil

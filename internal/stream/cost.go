@@ -112,7 +112,7 @@ func (e *Engine) attachCostLocked(s *subState, g *planGroup) {
 // proportional split happens once at round end (applyCostLocked). It stays
 // off — zero clock reads — unless cost attribution is on.
 type roundCost struct {
-	on     bool
+	on     bool //flowmotif:obsgate
 	t0     time.Time
 	snapNs int64 // union snapshot build
 	shapes []shapeCost

@@ -46,15 +46,15 @@ func (e *Engine) AddSubscription(sub Subscription, opts AddOptions) error {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
-	// The catch-up finalize below drains through emitPending; its
-	// detections' lag is measured from this call's arrival.
-	e.arrivedAt = arrived
 	if err := e.failedLocked(); err != nil {
 		// A fail-stopped engine must not finalize bands over its diverged
 		// log on behalf of the newcomer (see ErrFailStopped).
 		e.mu.Unlock()
 		return fmt.Errorf("stream: add subscription: %w", err)
 	}
+	// The catch-up finalize below drains through emitPending; its
+	// detections' lag is measured from this call's arrival.
+	e.arrivedAt = arrived
 
 	s, err := e.newSubState(sub)
 	if err != nil {

@@ -77,7 +77,7 @@ func (e *Engine) startPlanSpan(name string, parent *obs.TraceSpan, attrs ...obs.
 // round's real span ("finalize.round", child of the batch's root span),
 // the parent of the planner's stage spans.
 type roundTrace struct {
-	on                  bool
+	on                  bool //flowmotif:obsgate
 	t0, last            time.Time
 	snap, match, fanout time.Duration
 	span                *obs.TraceSpan

@@ -184,7 +184,9 @@ func (e *Engine) finalize(terminal bool) {
 	}
 	rc.addSnap(ct)
 	e.snapshotBuilds++
-	snapSpan.Annotate(obs.L("events", strconv.Itoa(snap.NumEvents())))
+	if snapSpan != nil {
+		snapSpan.Annotate(obs.L("events", strconv.Itoa(snap.NumEvents())))
+	}
 	snapSpan.End()
 	tr.mark(&tr.snap)
 
@@ -222,11 +224,14 @@ func (e *Engine) finalize(terminal bool) {
 		sp := plans[shape]
 		// One span per plan-group run: which shape, at what δ, for how many
 		// consumers — the unit a slow round decomposes into.
-		planSpan := e.startPlanSpan("finalize.plan", tr.span,
-			obs.L("shape", shape),
-			obs.L("delta", strconv.FormatInt(sp.maxDelta, 10)),
-			obs.L("subs", strconv.Itoa(sp.nsubs)),
-			obs.L("bands", strconv.Itoa(len(sp.bands))))
+		var planSpan *obs.TraceSpan
+		if tr.span != nil {
+			planSpan = e.startPlanSpan("finalize.plan", tr.span,
+				obs.L("shape", shape),
+				obs.L("delta", strconv.FormatInt(sp.maxDelta, 10)),
+				obs.L("subs", strconv.Itoa(sp.nsubs)),
+				obs.L("bands", strconv.Itoa(len(sp.bands))))
+		}
 		// A shape whose own extent is a sliver of the union snapshot (a
 		// small-δ shape sharing the round with a much larger δ) would pay
 		// the big window's phase-P1 cost for nothing: give it a private
@@ -275,7 +280,9 @@ func (e *Engine) finalize(terminal bool) {
 		rc.addMatch(ct, len(matches))
 		e.matchRuns++
 		e.matchesShared += int64(len(matches)) * int64(sp.nsubs-1)
-		matchSpan.Annotate(obs.L("matches", strconv.Itoa(len(matches))))
+		if matchSpan != nil {
+			matchSpan.Annotate(obs.L("matches", strconv.Itoa(len(matches))))
+		}
 		matchSpan.End()
 		tr.mark(&tr.match)
 		fanSpan := e.startPlanSpan("finalize.fanout", planSpan)

@@ -90,6 +90,12 @@ func (e *Engine) Restore(snap *EngineSnapshot) error {
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.failedLocked(); err != nil {
+		// A poisoned engine's in-memory state has diverged from its log;
+		// loading a snapshot over it would mask the divergence while the
+		// poison stays set. Replace the engine instead.
+		return fmt.Errorf("stream: restore: %w", err)
+	}
 	if e.batches != 0 || e.log.Appended() != 0 {
 		return fmt.Errorf("stream: Restore requires a fresh engine (already ingested %d events)", e.log.Appended())
 	}

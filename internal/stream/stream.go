@@ -219,15 +219,15 @@ type Engine struct {
 	// emitPending for the detection-lag histogram (serialized by
 	// ingestMu).
 	obsReg    *obs.Registry
-	mx        *engineMetrics
-	logger    *slog.Logger
-	slowRound time.Duration
+	mx        *engineMetrics //flowmotif:obsgate
+	logger    *slog.Logger   //flowmotif:obsgate
+	slowRound time.Duration  //flowmotif:obsgate
 	arrivedAt time.Time
 
 	// Cost attribution (cost.go, DESIGN.md §14). costOn gates the per-stage
 	// clock reads; attribNs/roundNs/costRounds are the engine-level
 	// attributed-vs-measured account the oracle test compares.
-	costOn     bool
+	costOn     bool //flowmotif:obsgate
 	attribNs   int64
 	roundNs    int64
 	costRounds int64
@@ -355,6 +355,8 @@ func (e *Engine) IngestWithAck(events []temporal.Event) (Ack, error) {
 // finalize.emit) records into the flight recorder as a child of parent —
 // the replication deliver span, via W3C traceparent over the wire — or as
 // a new root trace when parent is zero. The ack carries the trace ID.
+//
+//flowmotif:hotpath
 func (e *Engine) IngestTraced(events []temporal.Event, parent obs.SpanContext) (Ack, error) {
 	if len(events) == 0 {
 		e.mu.Lock()
@@ -374,17 +376,20 @@ func (e *Engine) IngestTraced(events []temporal.Event, parent obs.SpanContext) (
 	}
 	// The root span likewise opens before the lock wait, so queueing
 	// behind in-flight ingests is on the trace.
-	root := e.tracer.StartSpan("engine.ingest", parent,
-		obs.L("events", strconv.Itoa(len(events))))
+	var root *obs.TraceSpan
+	if e.tracer != nil {
+		root = e.tracer.StartSpan("engine.ingest", parent,
+			obs.L("events", strconv.Itoa(len(events))))
+	}
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
-	e.arrivedAt = arrived
 	if err := e.failedLocked(); err != nil {
 		e.mu.Unlock()
 		endSpanErr(root, err)
 		return Ack{}, err
 	}
+	e.arrivedAt = arrived
 
 	// The common monotone-producer case sends batches already in time
 	// order; read them in place instead of copying and re-sorting (the
@@ -473,6 +478,8 @@ func (e *Engine) FlushWithAck() Ack {
 }
 
 // FlushTraced is FlushWithAck under a trace context (see IngestTraced).
+//
+//flowmotif:hotpath
 func (e *Engine) FlushTraced(parent obs.SpanContext) Ack {
 	var arrived time.Time
 	if e.mx != nil {
@@ -482,7 +489,6 @@ func (e *Engine) FlushTraced(parent obs.SpanContext) Ack {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	e.mu.Lock()
-	e.arrivedAt = arrived
 	w, ok := e.log.Watermark()
 	if !ok || e.failErr != nil {
 		// A fail-stopped engine must not foreclose windows over its
@@ -491,6 +497,7 @@ func (e *Engine) FlushTraced(parent obs.SpanContext) Ack {
 		root.End()
 		return Ack{}
 	}
+	e.arrivedAt = arrived
 	e.curSpan = root
 	e.finalize(true)
 	if m := satAdd(w, e.maxDelta+1); m > e.minNextT {
@@ -544,7 +551,9 @@ func (e *Engine) emitPending() {
 			lagH.Observe(lag)
 		}
 	}
-	root.Annotate(obs.L("detections", strconv.Itoa(len(pend))))
+	if root != nil {
+		root.Annotate(obs.L("detections", strconv.Itoa(len(pend))))
+	}
 	root.End()
 }
 
