@@ -30,6 +30,7 @@ import (
 
 	"flowmotif/internal/cluster"
 	"flowmotif/internal/harness"
+	"flowmotif/internal/server"
 	"flowmotif/internal/stream"
 )
 
@@ -54,11 +55,12 @@ func main() {
 		benchObsMax    = flag.Float64("bench-obs-max-overhead", 0, "fail when metric collection slows ingest by more than this fraction vs the same run with Config.DisableObs (0: no gate)")
 		benchTrcMax    = flag.Float64("bench-trace-max-overhead", 0, "fail when flight-recorder span tracing slows ingest by more than this fraction vs the same run with Config.DisableTrace (0: no gate)")
 		benchAttMax    = flag.Float64("bench-attrib-max-overhead", 0, "fail when per-subscription cost attribution slows ingest by more than this fraction vs the same run with Config.DisableCostAttribution (0: no gate)")
+		benchWireMin   = flag.Float64("bench-wire-min-speedup", 0, "fail unless binary wire ingest beats JSON ingest by at least this factor at batch 512, same run (0: no gate)")
 	)
 	flag.Parse()
 
 	if *benchStream {
-		runStreamBench(*benchStreamOut, *seed, *benchStreamMin, *benchObsMax, *benchTrcMax, *benchAttMax)
+		runStreamBench(*benchStreamOut, *seed, *benchStreamMin, *benchObsMax, *benchTrcMax, *benchAttMax, *benchWireMin)
 		return
 	}
 	if *benchClust {
@@ -170,10 +172,15 @@ func run(name string, f func()) {
 // baseline), writes BENCH_stream.json, and optionally gates on the 100-sub
 // shared-shape speedup. The speedup is a same-run ratio, so the gate is
 // stable across machines (unlike absolute events/sec).
-func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead, maxTraceOverhead, maxAttribOverhead float64) {
+func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead, maxTraceOverhead, maxAttribOverhead, minWireSpeedup float64) {
 	fmt.Println("stream bench: subscription sweep, shared vs distinct shapes, planner vs per-sub baseline...")
 	t0 := time.Now()
 	rep, err := stream.RunBench(stream.BenchConfig{Seed: seed})
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Println("wire bench: JSON transport vs binary wire protocol, same stream, batch 512...")
+	rep.Wire, err = server.RunWireBench(0, seed, 0)
 	if err != nil {
 		fatal(err.Error())
 	}
@@ -232,6 +239,15 @@ func runStreamBench(out string, seed int64, minSpeedup, maxObsOverhead, maxTrace
 		}
 		fmt.Printf("attribution gate ok: %.2f%% <= %.2f%%\n", rep.AttribOverhead*100, maxAttribOverhead*100)
 	}
+	fmt.Printf("wire transport: json %.0f events/sec, binary %.0f events/sec — %.1fx (batch %d, best of %d interleaved runs)\n",
+		rep.Wire.JSONEventsPerSec, rep.Wire.WireEventsPerSec, rep.Wire.Speedup, rep.Wire.BatchSize, rep.Wire.Runs)
+	if minWireSpeedup > 0 {
+		if rep.Wire.Speedup < minWireSpeedup {
+			fatal(fmt.Sprintf("wire gate: binary ingest is %.2fx JSON at batch %d, want >= %.2fx",
+				rep.Wire.Speedup, rep.Wire.BatchSize, minWireSpeedup))
+		}
+		fmt.Printf("wire gate ok: %.1fx >= %.1fx\n", rep.Wire.Speedup, minWireSpeedup)
+	}
 }
 
 // runClusterBench measures the cluster layer, writes the JSON report, and
@@ -244,6 +260,11 @@ func runClusterBench(shards, events int, seed int64, out, baseline string, maxRe
 		Events: events,
 		Seed:   seed,
 	})
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Println("wire replication bench: JSON vs binary delivery to a daemon shard set...")
+	rep.WireReplication, err = server.RunWireReplicationBench(shards, 0, seed, 0)
 	if err != nil {
 		fatal(err.Error())
 	}
@@ -261,6 +282,10 @@ func runClusterBench(shards, events int, seed int64, out, baseline string, maxRe
 	fmt.Printf("scatter-gather topk: avg %.0fµs p50 %.0fµs p99 %.0fµs\n",
 		rep.TopK.AvgUS, rep.TopK.P50US, rep.TopK.P99US)
 	fmt.Printf("scatter-gather instances: avg %.0fµs\n", rep.Instances.AvgUS)
+	if w := rep.WireReplication; w != nil {
+		fmt.Printf("replication transport: json %.0f events/sec, binary %.0f events/sec — %.1fx sustained\n",
+			w.JSONEventsPerSec, w.WireEventsPerSec, w.Speedup)
+	}
 	if q := rep.Replication.Lag; q != nil {
 		fmt.Printf("replication lag (append→ack): p50 %.2fms p95 %.2fms p99 %.2fms\n",
 			q.P50*1000, q.P95*1000, q.P99*1000)

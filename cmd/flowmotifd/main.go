@@ -175,6 +175,7 @@ func main() {
 	var joins joinFlags
 	var (
 		addr     = flag.String("addr", ":8089", "listen address")
+		wireAddr = flag.String("wire-addr", "", "also serve the binary wire-protocol ingest listener on this TCP address (e.g. :9089); advertised on /healthz so coordinators upgrade replication automatically (empty disables)")
 		workers  = flag.Int("workers", 1, "per-band enumeration parallelism")
 		recent   = flag.Int("recent", 4096, "recent-detection ring capacity (GET /instances)")
 		topk     = flag.Int("topk", 50, "retained best detections per subscription (GET /topk)")
@@ -294,6 +295,13 @@ func main() {
 				"snapshot_used", rec.FromSnapshot, "wal_events_replayed", rec.Replayed)
 		}
 	}
+	if *wireAddr != "" {
+		bound, err := srv.StartWire(*wireAddr)
+		if err != nil {
+			fatal(logger, "wire listener failed", "err", err)
+		}
+		logger.Info("wire protocol listening", "addr", bound)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -337,6 +345,7 @@ func main() {
 	}
 	<-done
 	close(stopSnaps)
+	srv.StopWire()
 	if srv.Durable() {
 		// Flush a final snapshot so the next start replays no WAL tail.
 		if err := srv.Close(); err != nil {

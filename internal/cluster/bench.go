@@ -101,6 +101,26 @@ type BenchReport struct {
 		CoalesceEvents *obs.Quantiles `json:"coalesce_events,omitempty"`
 	} `json:"replication"`
 	DetectionLag *obs.Quantiles `json:"detection_lag_seconds,omitempty"`
+	// WireReplication compares replication delivery to HTTP member daemons
+	// over the JSON transport vs the binary wire protocol (DESIGN.md §16).
+	// Populated by the server package (internal/server.
+	// RunWireReplicationBench): the HTTP/wire member daemon stack lives
+	// above this package, so the report only carries the numbers. Absent
+	// in older baselines; the regression comparison skips it.
+	WireReplication *WireReplicationResult `json:"wire_replication,omitempty"`
+}
+
+// WireReplicationResult is the BenchReport.WireReplication payload: the
+// sustained (drain-inclusive) replication rate to a daemon shard set,
+// JSON vs binary, interleaved best-of-N runs in one process.
+type WireReplicationResult struct {
+	Shards           int     `json:"shards"`
+	Events           int     `json:"events"`
+	BatchSize        int     `json:"batch_size"`
+	Runs             int     `json:"runs"`
+	JSONEventsPerSec float64 `json:"json_events_per_sec"`
+	WireEventsPerSec float64 `json:"wire_events_per_sec"`
+	Speedup          float64 `json:"speedup"`
 }
 
 // histQuantiles merges every series named name in snaps and summarizes it

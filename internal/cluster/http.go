@@ -9,11 +9,13 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"flowmotif/internal/obs"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
+	"flowmotif/internal/wire"
 )
 
 // HTTPMember drives a remote flowmotifd member daemon (started with
@@ -25,6 +27,14 @@ type HTTPMember struct {
 	id     string
 	base   string
 	client *http.Client
+
+	// Binary wire-transport state (wiretransport.go): lazily probed from
+	// the member's /healthz advertisement, then a persistent connection.
+	wireMu       sync.Mutex
+	wireProbed   bool
+	wireDisabled bool
+	wireAddr     string
+	wireCli      *wire.Client
 }
 
 // NewHTTPMember builds a member client for the daemon at baseURL (e.g.
@@ -119,15 +129,22 @@ func errBody(raw []byte) string {
 }
 
 // Ingest implements Member. The replication sequence tag travels as the
-// request's "seq" field; the member daemon deduplicates resends by it
-// (answering with its recorded ack, dup=true), which is what makes retry
-// after a lost ack safe over this transport.
+// request's "seq" field (JSON) or the batch frame's seq trailer (binary);
+// the member daemon deduplicates resends by it (answering with its
+// recorded ack, dup=true), which is what makes retry after a lost ack
+// safe over either transport. When the member daemon advertises a binary
+// wire listener on /healthz, Ingest upgrades to it automatically — the
+// replicator then stops re-marshalling JSON per delivery (see
+// wiretransport.go); members without one keep getting JSON.
 func (m *HTTPMember) Ingest(b Batch) (IngestAck, error) {
-	wire := make([]wireEvent, len(b.Events))
-	for i, e := range b.Events {
-		wire[i] = wireEvent{From: e.From, To: e.To, T: e.T, F: e.F}
+	if ack, handled, err := m.wireIngest(b); handled {
+		return ack, err
 	}
-	body := map[string]interface{}{"events": wire}
+	evs := make([]wireEvent, len(b.Events))
+	for i, e := range b.Events {
+		evs[i] = wireEvent{From: e.From, To: e.To, T: e.T, F: e.F}
+	}
+	body := map[string]interface{}{"events": evs}
 	if b.Seq != 0 {
 		body["seq"] = b.Seq
 	}

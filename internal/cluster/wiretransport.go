@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"flowmotif/internal/stream"
+	"flowmotif/internal/wire"
+)
+
+// This file is HTTPMember's binary ingest transport: when the member
+// daemon advertises a wire listener ("wirePort" on /healthz, set by
+// flowmotifd -wire-addr), replication deliveries switch from JSON POSTs
+// to binary batch frames over one persistent connection — same seq/
+// traceparent idempotency and tracing contract, none of the per-event
+// marshalling. Everything else (flush, handoffs, queries, stats) stays
+// on HTTP: those are rare control-plane calls, not the hot path.
+
+// wireIngest attempts the delivery over the binary transport. handled is
+// false when the member has no wire listener (or the one-time probe
+// could not run) — the caller then falls back to JSON. Transport
+// failures wrap ErrMemberDown (retryable: the replicator redials through
+// a fresh connection on the next attempt), server error frames map onto
+// the same error taxonomy as HTTP responses.
+func (m *HTTPMember) wireIngest(b Batch) (IngestAck, bool, error) {
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	if !m.wireProbed {
+		m.probeWireLocked()
+	}
+	if !m.wireProbed || m.wireDisabled {
+		return IngestAck{}, false, nil
+	}
+	if m.wireCli == nil {
+		cli, err := wire.Dial(m.wireAddr, m.client.Timeout)
+		if err != nil {
+			// The member advertised a listener but is not answering on it:
+			// treat like any transport failure so the coordinator retries
+			// and eventually fails the member over.
+			return IngestAck{}, true, fmt.Errorf("%w: %s: wire dial %s: %v", ErrMemberDown, m.id, m.wireAddr, err)
+		}
+		m.wireCli = cli
+	}
+	ack, err := m.wireCli.Ingest(b.Seq, b.Traceparent, b.Events)
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			if m.wireCli.Broken() {
+				m.wireCli = nil
+			}
+			switch re.Code {
+			case wire.CodeBehindFrontier:
+				return IngestAck{}, true, fmt.Errorf("%w: member %s: %s", stream.ErrBehindFrontier, m.id, re.Msg)
+			case wire.CodeInternal:
+				// 5xx equivalent: retryable, mirrors doTraced's >=500 case.
+				return IngestAck{}, true, fmt.Errorf("%w: %s: %v", ErrMemberDown, m.id, re)
+			default:
+				// Semantic rejection (400 equivalent): terminal for the
+				// replicator, the member has diverged from admission rules.
+				return IngestAck{}, true, fmt.Errorf("cluster: member %s: %v", m.id, re)
+			}
+		}
+		// Transport failure: the client has retired the connection; redial
+		// on the next delivery attempt.
+		m.wireCli = nil
+		return IngestAck{}, true, fmt.Errorf("%w: %s: wire: %v", ErrMemberDown, m.id, err)
+	}
+	return IngestAck{
+		Ingested:   int(ack.Ingested),
+		Watermark:  ack.Watermark,
+		Detections: ack.Detections,
+		Seq:        ack.Seq,
+		Dup:        ack.Dup,
+		Trace:      ack.Trace,
+	}, true, nil
+}
+
+// probeWireLocked asks the member's /healthz once whether it serves the
+// binary protocol. A reachable member without a "wirePort" field
+// permanently disables the upgrade (this daemon predates or did not arm
+// the listener); an unreachable member leaves the probe unresolved so a
+// later delivery retries it — the member may just be restarting.
+func (m *HTTPMember) probeWireLocked() {
+	resp, err := m.client.Get(m.base + "/healthz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var h struct {
+		WirePort int `json:"wirePort"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil {
+		return
+	}
+	m.wireProbed = true
+	if h.WirePort <= 0 {
+		m.wireDisabled = true
+		return
+	}
+	u, err := url.Parse(m.base)
+	if err != nil || u.Hostname() == "" {
+		m.wireDisabled = true
+		return
+	}
+	m.wireAddr = net.JoinHostPort(u.Hostname(), strconv.Itoa(h.WirePort))
+}
+
+// SetWireAddr pins the binary transport to host:port, skipping the
+// /healthz probe. An empty addr re-enables probing.
+func (m *HTTPMember) SetWireAddr(addr string) {
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	m.closeWireLocked()
+	if addr == "" {
+		m.wireProbed = false
+		m.wireDisabled = false
+		return
+	}
+	m.wireProbed = true
+	m.wireDisabled = false
+	m.wireAddr = addr
+}
+
+// DisableWire pins deliveries to the JSON transport (benchmark and test
+// control; also an operational escape hatch).
+func (m *HTTPMember) DisableWire() {
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	m.closeWireLocked()
+	m.wireProbed = true
+	m.wireDisabled = true
+}
+
+// CloseWire drops the persistent wire connection (if any); a later
+// delivery redials. The probe result is kept.
+func (m *HTTPMember) CloseWire() {
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	m.closeWireLocked()
+}
+
+func (m *HTTPMember) closeWireLocked() {
+	if m.wireCli != nil {
+		_ = m.wireCli.Close()
+		m.wireCli = nil
+	}
+}
+
+// UsingWire reports whether the last probe selected the binary transport
+// (testing aid).
+func (m *HTTPMember) UsingWire() bool {
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	return m.wireProbed && !m.wireDisabled
+}

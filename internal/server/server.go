@@ -51,6 +51,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -63,6 +64,7 @@ import (
 	"flowmotif/internal/store"
 	"flowmotif/internal/stream"
 	"flowmotif/internal/temporal"
+	"flowmotif/internal/wire"
 )
 
 // Config parameterizes a Server.
@@ -128,6 +130,11 @@ type Config struct {
 	// metering (attribution is on by default whenever observability is on);
 	// see stream.Config.DisableCostAttribution.
 	DisableCostAttribution bool
+	// WireMaxFrameBytes bounds binary wire-protocol frame payloads
+	// (default wire.DefaultMaxFrameBytes, matching MaxBodyBytes' default);
+	// oversized frames are rejected with a typed error frame, mirroring
+	// the HTTP 413 behavior.
+	WireMaxFrameBytes int
 }
 
 // RecoveryStats reports what New rebuilt from a data dir.
@@ -197,6 +204,20 @@ type Server struct {
 	// of a large engine state never stalls ingestion. Lock order where
 	// both are needed: snapMu before ingestMu.
 	snapMu sync.Mutex
+
+	// Binary wire-protocol listener state (internal/wire; see wire.go).
+	// wx is nil with Config.DisableObs — the decode loop's clocks gate on
+	// it. The shared interner maps symbolic-mode labels onto one
+	// server-wide node-id space across connections.
+	wx           *wireMetrics
+	wireMaxFrame int
+	wireInternMu sync.RWMutex
+	wireIntern   *temporal.Interner
+	wireMu       sync.Mutex
+	wireLn       net.Listener
+	wirePort     int
+	wireConns    map[net.Conn]struct{}
+	wireWG       sync.WaitGroup
 }
 
 // New builds a Server (and its engine) from cfg. With cfg.DataDir set it
@@ -249,7 +270,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	if !cfg.DisableObs {
 		s.runtime = obs.NewRuntimeStats()
+		// Registered whether or not a wire listener is armed, so the
+		// metrics catalog (and its drift check) sees every series a server
+		// can expose.
+		s.wx = newWireMetrics(reg)
 	}
+	s.wireMaxFrame = cfg.WireMaxFrameBytes
+	if s.wireMaxFrame <= 0 {
+		s.wireMaxFrame = wire.DefaultMaxFrameBytes
+	}
+	s.wireIntern = temporal.NewInterner()
 	eng, err := stream.NewEngine(stream.Config{
 		Subs:                   cfg.Subs,
 		Workers:                cfg.Workers,
@@ -399,14 +429,16 @@ func (s *Server) writeSnapshot(seq int64, snap serverSnapshot) error {
 	return s.st.WriteSnapshot(seq, payload)
 }
 
-// Close stops the SLO watchdog, flushes a final snapshot (durable
-// servers; best-effort — the WAL alone already suffices for recovery) and
-// closes the store. The server must not serve requests afterwards.
+// Close stops the SLO watchdog and the wire listener, flushes a final
+// snapshot (durable servers; best-effort — the WAL alone already suffices
+// for recovery) and closes the store. The server must not serve requests
+// afterwards.
 func (s *Server) Close() error {
 	if s.slo != nil {
 		s.slo.stopWatch()
 		s.slo = nil
 	}
+	s.StopWire()
 	if s.st == nil {
 		return nil
 	}
@@ -707,43 +739,60 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Pre-sort (stably, matching the engine's internal order) so the WAL
 	// records the exact sequence the engine processed.
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
-	s.ingestMu.Lock()
-	if s.walErr != nil {
-		s.ingestMu.Unlock()
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("wal broken, ingest fail-stopped (restart to recover): %w", s.walErr))
+	resp, status, err := s.applyIngest(evs, req.Seq, requestSpan(r).Context())
+	if err != nil {
+		writeErr(w, status, err)
 		return
 	}
-	if req.Seq > 0 && req.Seq <= s.lastSeq {
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyIngest is the transport-independent ingest core shared by the
+// JSON handler and the binary wire listener: seq-tagged resend dedup,
+// engine apply, WAL append with fail-stop poisoning, and last-ack
+// recording, all as one atomic unit under ingestMu. Events must already
+// be sorted by T (stable). The returned status is the HTTP taxonomy both
+// transports translate from (200/400/409/500); err is non-nil for every
+// non-200.
+//
+//flowmotif:hotpath
+func (s *Server) applyIngest(evs []temporal.Event, seq int64, parent obs.SpanContext) (ingestResponse, int, error) {
+	s.ingestMu.Lock()
+	if s.walErr != nil {
+		err := s.walErr
+		s.ingestMu.Unlock()
+		return ingestResponse{}, http.StatusInternalServerError,
+			fmt.Errorf("wal broken, ingest fail-stopped (restart to recover): %w", err)
+	}
+	if seq > 0 && seq <= s.lastSeq {
 		resp := s.lastAck
 		resp.Dup = true
 		s.ingestMu.Unlock()
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp, http.StatusOK, nil
 	}
-	ack, err := s.engine.IngestTraced(evs, requestSpan(r).Context())
+	ack, err := s.engine.IngestTraced(evs, parent)
 	if err == nil && s.st != nil {
 		if perr := s.st.Append(evs); perr != nil {
 			// The engine applied the batch but the WAL did not: poison
 			// ingest (fail-stop) so a replication retry cannot re-apply the
 			// batch and later batches cannot widen the engine/WAL gap.
 			s.walErr = perr
-			if req.Seq > 0 {
-				s.lastSeq = req.Seq
+			if seq > 0 {
+				s.lastSeq = seq
 			}
 			s.ingestMu.Unlock()
-			writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist: %w", perr))
-			return
+			return ingestResponse{}, http.StatusInternalServerError, fmt.Errorf("persist: %w", perr)
 		}
 	}
 	resp := ingestResponse{
 		Ingested:   ack.Ingested,
 		Watermark:  ack.Watermark,
 		Detections: ack.Detections,
-		Seq:        req.Seq,
+		Seq:        seq,
 		Trace:      ack.Trace,
 	}
-	if err == nil && req.Seq > 0 {
-		s.lastSeq = req.Seq
+	if err == nil && seq > 0 {
+		s.lastSeq = seq
 		s.lastAck = resp
 	}
 	s.ingestMu.Unlock()
@@ -757,10 +806,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// the WAL fail-stop, only a restart recovers.
 			status = http.StatusInternalServerError
 		}
-		writeErr(w, status, err)
-		return
+		return ingestResponse{}, status, err
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, http.StatusOK, nil
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
@@ -854,6 +902,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp["status"] = "degraded"
 			resp["degradedReasons"] = reasons
 		}
+	}
+	// Advertise the binary wire listener so clients (HTTPMember among
+	// them) can upgrade from JSON automatically.
+	if port := s.WirePort(); port > 0 {
+		resp["wirePort"] = port
 	}
 	if s.st != nil {
 		resp["walEvents"] = s.st.Seq()

@@ -164,6 +164,16 @@ func (w *sloWatchdog) sample(now time.Time) sloSample {
 					s.httpBad += float64(m.Hist.Count)
 				}
 			}
+		case "flowmotif_wire_requests_total":
+			// Binary wire-protocol frames burn the same error budget as
+			// HTTP requests: a 5xx-equivalent error frame is a failed
+			// request whichever transport carried it.
+			s.httpTotal += m.Value
+			for _, l := range m.Labels {
+				if l.Key == "code" && l.Value == "5xx" {
+					s.httpBad += m.Value
+				}
+			}
 		}
 	}
 	return s

@@ -1,0 +1,490 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"flowmotif/internal/cluster"
+	"flowmotif/internal/core"
+	"flowmotif/internal/gen"
+	"flowmotif/internal/motif"
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+	"flowmotif/internal/wire"
+)
+
+// wireTestSubs is the subscription set both transports serve in the
+// oracle tests.
+func wireTestSubs() []stream.Subscription {
+	return []stream.Subscription{
+		{ID: "tri", Motif: motif.MustPath(0, 1, 2, 0), Delta: 600, Phi: 1},
+		{ID: "chain", Motif: motif.MustPath(0, 1, 2), Delta: 300, Phi: 0},
+	}
+}
+
+// startWireServer builds a server, arms its binary listener, and wraps
+// its HTTP handler in an httptest server for the query side.
+func startWireServer(t *testing.T, cfg Config) (*Server, *httptest.Server, string) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr, err := srv.StartWire("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, addr
+}
+
+// TestWireVsJSONIngestOracle is the protocol-compatibility oracle: the
+// same seq-tagged event stream through the JSON API and through the
+// binary wire protocol must produce identical per-batch acks (ingested,
+// watermark, detections, seq, dup), identical final detection sets, and
+// identical seq-dedup behavior — including a resend after a dropped ack
+// arriving over a fresh binary connection.
+func TestWireVsJSONIngestOracle(t *testing.T) {
+	evs, err := gen.Bitcoin(gen.BitcoinConfig{Nodes: 80, SeedTxns: 200, Duration: 12000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+
+	_, jsonTS, _ := startWireServer(t, Config{Subs: wireTestSubs()})
+	_, wireTS, wireAddr := startWireServer(t, Config{Subs: wireTestSubs()})
+
+	cli, err := wire.Dial(wireAddr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Feed the identical batch sequence through both transports. Batches
+	// are shuffled internally so both the JSON handler's pre-sort and the
+	// wire encoder's sort path run.
+	rng := rand.New(rand.NewSource(4))
+	var seq int64
+	var lastWireAck wire.Ack
+	var lastBatch []temporal.Event
+	for i := 0; i < len(evs); {
+		n := 1 + rng.Intn(96)
+		if i+n > len(evs) {
+			n = len(evs) - i
+		}
+		batch := append([]temporal.Event(nil), evs[i:i+n]...)
+		rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
+		seq++
+
+		events := make([]map[string]interface{}, len(batch))
+		for j, e := range batch {
+			events[j] = map[string]interface{}{"from": e.From, "to": e.To, "t": e.T, "f": e.F}
+		}
+		resp, body := postJSON(t, jsonTS.Client(), jsonTS.URL+"/ingest",
+			map[string]interface{}{"events": events, "seq": seq})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("json ingest seq %d: %d: %s", seq, resp.StatusCode, body)
+		}
+		var jsonAck ingestResponse
+		if err := json.Unmarshal(body, &jsonAck); err != nil {
+			t.Fatal(err)
+		}
+
+		wireAck, err := cli.Ingest(seq, "", batch)
+		if err != nil {
+			t.Fatalf("wire ingest seq %d: %v", seq, err)
+		}
+		if int(wireAck.Ingested) != jsonAck.Ingested || wireAck.Watermark != jsonAck.Watermark ||
+			wireAck.Detections != jsonAck.Detections || wireAck.Seq != jsonAck.Seq || wireAck.Dup != jsonAck.Dup {
+			t.Fatalf("seq %d acks diverge: wire %+v, json %+v", seq, wireAck, jsonAck)
+		}
+		lastWireAck = wireAck
+		lastBatch = batch
+		i += n
+	}
+
+	// Resend after a dropped ack: a fresh connection (the reconnect a
+	// transport failure forces) resends the last seq-tagged batch and must
+	// get the recorded ack back, dup-flagged, with nothing re-applied.
+	cli2, err := wire.Dial(wireAddr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	dup, err := cli2.Ingest(seq, "", lastBatch)
+	if err != nil {
+		t.Fatalf("resend over fresh connection: %v", err)
+	}
+	if !dup.Dup || dup.Ingested != lastWireAck.Ingested || dup.Watermark != lastWireAck.Watermark ||
+		dup.Detections != lastWireAck.Detections || dup.Seq != lastWireAck.Seq {
+		t.Fatalf("resend ack = %+v, want dup of %+v", dup, lastWireAck)
+	}
+
+	// An untagged behind-frontier batch is rejected with the typed 409
+	// equivalent — and the connection survives the rejection.
+	_, err = cli.Ingest(0, "", []temporal.Event{{From: 0, To: 1, T: 1, F: 1}})
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeBehindFrontier {
+		t.Fatalf("behind-frontier over wire: %v, want RemoteError code %d", err, wire.CodeBehindFrontier)
+	}
+	if _, err := cli.Ingest(seq, "", lastBatch); err != nil {
+		t.Fatalf("connection unusable after a semantic rejection: %v", err)
+	}
+
+	// Flush both and compare the final detection sets per subscription.
+	for _, ts := range []*httptest.Server{jsonTS, wireTS} {
+		if resp, body := postJSON(t, ts.Client(), ts.URL+"/flush", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("flush: %d: %s", resp.StatusCode, body)
+		}
+	}
+	for _, sub := range wireTestSubs() {
+		keys := make([]map[string]bool, 2)
+		for si, ts := range []*httptest.Server{jsonTS, wireTS} {
+			var got struct {
+				Instances []*stream.Detection `json:"instances"`
+			}
+			resp := getJSON(t, ts.Client(), ts.URL+"/instances?limit=0&sub="+sub.ID, &got)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("instances %s: %d", sub.ID, resp.StatusCode)
+			}
+			keys[si] = map[string]bool{}
+			for _, d := range got.Instances {
+				keys[si][detKey(d)] = true
+			}
+		}
+		if len(keys[0]) == 0 {
+			t.Fatalf("sub %s: oracle vacuous, no detections", sub.ID)
+		}
+		if len(keys[0]) != len(keys[1]) {
+			t.Fatalf("sub %s: json served %d instances, wire served %d", sub.ID, len(keys[0]), len(keys[1]))
+		}
+		for k := range keys[0] {
+			if !keys[1][k] {
+				t.Fatalf("sub %s: instance %s served over json but not over wire", sub.ID, k)
+			}
+		}
+	}
+}
+
+// TestWireSymbolicIngest pins the interning protocol end to end: labeled
+// events through the binary transport resolve onto the server-wide
+// interner (first-use dense ids), detect, and a second connection's
+// definitions land in the same id space.
+func TestWireSymbolicIngest(t *testing.T) {
+	subs := []stream.Subscription{{ID: "edge", Motif: motif.MustPath(0, 1), Delta: 100, Phi: 0}}
+	srv, ts, addr := startWireServer(t, Config{Subs: subs})
+
+	cli, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ack, err := cli.IngestLabeled(0, "", []wire.LabeledEvent{
+		{From: "alice", To: "bob", T: 10, F: 2},
+		{From: "bob", To: "carol", T: 20, F: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Ingested != 2 {
+		t.Fatalf("ack = %+v, want 2 ingested", ack)
+	}
+	// A second connection has its own per-connection symbol table but
+	// shares the server id space: "bob" must resolve to the id the first
+	// connection defined.
+	cli2, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := cli2.IngestLabeled(0, "", []wire.LabeledEvent{
+		{From: "bob", To: "alice", T: 30, F: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.WireInterner(func(in *temporal.Interner) {
+		if in.Len() != 3 {
+			t.Fatalf("server interner holds %d labels, want 3 (shared across connections)", in.Len())
+		}
+		for _, l := range []string{"alice", "bob", "carol"} {
+			if _, ok := in.Lookup(l); !ok {
+				t.Fatalf("label %q not interned", l)
+			}
+		}
+	})
+	if resp, body := postJSON(t, ts.Client(), ts.URL+"/flush", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %d: %s", resp.StatusCode, body)
+	}
+	var got struct {
+		Instances []*stream.Detection `json:"instances"`
+	}
+	if resp := getJSON(t, ts.Client(), ts.URL+"/instances?limit=0&sub=edge", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("instances: %d", resp.StatusCode)
+	}
+	if len(got.Instances) == 0 {
+		t.Fatal("no detections from symbolic ingest")
+	}
+}
+
+// TestWireFrameTooLarge pins the 413 mirror: a frame whose declared
+// payload exceeds Config.WireMaxFrameBytes is rejected with the typed
+// too-large error frame before the payload is read, and the connection
+// is closed (framing cannot resync).
+func TestWireFrameTooLarge(t *testing.T) {
+	_, _, addr := startWireServer(t, Config{Subs: wireTestSubs(), WireMaxFrameBytes: 256})
+
+	cli, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	big := make([]temporal.Event, 512)
+	for i := range big {
+		big[i] = temporal.Event{From: temporal.NodeID(i), To: temporal.NodeID(i + 1), T: int64(i), F: 1}
+	}
+	_, err = cli.Ingest(1, "", big)
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeFrameTooLarge {
+		t.Fatalf("oversized frame: %v, want RemoteError code %d", err, wire.CodeFrameTooLarge)
+	}
+	// The server closed the connection: the client retired it too.
+	if !cli.Broken() {
+		t.Fatal("client still considers the connection usable after a framing-level rejection")
+	}
+	// A small frame on a fresh connection still works.
+	cli2, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := cli2.Ingest(1, "", big[:4]); err != nil {
+		t.Fatalf("small frame after reconnect: %v", err)
+	}
+}
+
+// TestWireMetricsAndHealthz pins the listener's observability contract:
+// /healthz advertises the wire port (the auto-upgrade discovery signal),
+// the connection gauge tracks opens, and the request/event counters move
+// with traffic — including the 4xx class on a semantic rejection.
+func TestWireMetricsAndHealthz(t *testing.T) {
+	srv, ts, addr := startWireServer(t, Config{Subs: wireTestSubs()})
+
+	var hz struct {
+		WirePort int `json:"wirePort"`
+	}
+	getJSON(t, ts.Client(), ts.URL+"/healthz", &hz)
+	if hz.WirePort != srv.WirePort() || hz.WirePort == 0 {
+		t.Fatalf("healthz wirePort = %d, server says %d", hz.WirePort, srv.WirePort())
+	}
+
+	cli, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Ingest(0, "", []temporal.Event{
+		{From: 0, To: 1, T: 100, F: 2}, {From: 1, To: 2, T: 160, F: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One behind-frontier rejection for the 4xx series.
+	if _, err := cli.Ingest(0, "", []temporal.Event{{From: 0, To: 1, T: 1, F: 1}}); err == nil {
+		t.Fatal("behind-frontier batch accepted")
+	}
+
+	want := map[string]bool{
+		"flowmotif_wire_connections":    false,
+		"flowmotif_wire_requests_total": false,
+		"flowmotif_wire_events_total":   false,
+		"flowmotif_wire_decode_seconds": false,
+		"flowmotif_wire_apply_seconds":  false,
+		"flowmotif_wire_frame_bytes":    false,
+	}
+	var conns, req2xx, req4xx, events float64
+	for _, m := range srv.Obs().Snapshot() {
+		if _, ok := want[m.Name]; ok {
+			want[m.Name] = true
+		}
+		switch m.Name {
+		case "flowmotif_wire_connections":
+			conns = m.Value
+		case "flowmotif_wire_events_total":
+			events = m.Value
+		case "flowmotif_wire_requests_total":
+			for _, l := range m.Labels {
+				if l.Key == "code" {
+					switch l.Value {
+					case "2xx":
+						req2xx = m.Value
+					case "4xx":
+						req4xx = m.Value
+					}
+				}
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+	if conns != 1 {
+		t.Errorf("wire_connections = %v with one open client, want 1", conns)
+	}
+	if req2xx != 1 || req4xx != 1 {
+		t.Errorf("wire_requests_total 2xx=%v 4xx=%v, want 1 and 1", req2xx, req4xx)
+	}
+	if events != 2 {
+		t.Errorf("wire_events_total = %v, want 2", events)
+	}
+
+	// The Prometheus exposition carries the series too (scrape parity
+	// with the catalog drift check).
+	resp, err := ts.Client().Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "flowmotif_wire_requests_total") {
+		t.Error("prometheus exposition missing flowmotif_wire_requests_total")
+	}
+}
+
+// TestMixedTransportClusterE2E is the mixed-transport cluster oracle:
+// clients speak JSON to the coordinator's front door while replication
+// to the member daemons runs over the binary wire protocol (negotiated
+// automatically from the members' /healthz advertisements) — and the
+// served detection set still equals the batch search. One member stays
+// JSON-only to prove both transports coexist in one replication pipeline.
+func TestMixedTransportClusterE2E(t *testing.T) {
+	evs, err := gen.Bitcoin(gen.BitcoinConfig{Nodes: 100, SeedTxns: 240, Duration: 12000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	g, err := temporal.NewGraph(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := wireTestSubs()
+
+	// Two member daemons with wire listeners armed, one without — the
+	// coordinator must speak binary to the first two and JSON to the
+	// third, from the same replication pipeline.
+	var members []cluster.Member
+	var wired []*cluster.HTTPMember
+	var daemons []*Server
+	for i, arm := range []bool{true, true, false} {
+		srv, err := New(Config{Member: true, Recent: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		daemons = append(daemons, srv)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		if arm {
+			if _, err := srv.StartWire("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m := cluster.NewHTTPMember(fmt.Sprintf("m%d", i), ts.URL, ts.Client())
+		members = append(members, m)
+		if arm {
+			wired = append(wired, m)
+		}
+	}
+	c, err := cluster.New(cluster.Config{Members: members, Subs: subs, RetryDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cs := NewCoordinator(c, 0)
+	front := httptest.NewServer(cs.Handler())
+	defer front.Close()
+	client := front.Client()
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < len(evs); {
+		n := 1 + rng.Intn(64)
+		if i+n > len(evs) {
+			n = len(evs) - i
+		}
+		batch := make([]map[string]interface{}, n)
+		for j, e := range evs[i : i+n] {
+			batch[j] = map[string]interface{}{"from": e.From, "to": e.To, "t": e.T, "f": e.F}
+		}
+		if resp, body := postJSON(t, client, front.URL+"/ingest",
+			map[string]interface{}{"events": batch}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: %d: %s", resp.StatusCode, body)
+		}
+		i += n
+	}
+	if resp, body := postJSON(t, client, front.URL+"/flush", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %d: %s", resp.StatusCode, body)
+	}
+
+	// The armed members really negotiated and used the binary transport.
+	for i, m := range wired {
+		if !m.UsingWire() {
+			t.Errorf("member %d did not negotiate the wire transport", i)
+		}
+	}
+	wireFed := 0
+	for _, srv := range daemons {
+		for _, m := range srv.Obs().Snapshot() {
+			if m.Name == "flowmotif_wire_events_total" && m.Value > 0 {
+				wireFed++
+			}
+		}
+	}
+	if wireFed != 2 {
+		t.Fatalf("%d members ingested over the wire protocol, want 2", wireFed)
+	}
+
+	// Oracle: served instances == batch search, per subscription.
+	for _, sub := range subs {
+		want, err := core.Collect(g, sub.Motif, core.Params{Delta: sub.Delta, Phi: sub.Phi}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKeys := map[string]bool{}
+		for _, in := range want {
+			wantKeys[batchKey(g, in)] = true
+		}
+		var got struct {
+			Instances []*stream.Detection `json:"instances"`
+		}
+		resp := getJSON(t, client, front.URL+"/instances?limit=0&sub="+sub.ID, &got)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("instances %s: %d", sub.ID, resp.StatusCode)
+		}
+		gotKeys := map[string]bool{}
+		for _, d := range got.Instances {
+			gotKeys[detKey(d)] = true
+		}
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("sub %s: served %d instances, batch search found %d", sub.ID, len(gotKeys), len(wantKeys))
+		}
+		for k := range wantKeys {
+			if !gotKeys[k] {
+				t.Fatalf("sub %s: batch instance %s missing from mixed-transport serve", sub.ID, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"time"
+
+	"flowmotif/internal/cluster"
+	"flowmotif/internal/gen"
+	"flowmotif/internal/stream"
+	"flowmotif/internal/temporal"
+)
+
+// This file measures the binary wire protocol against the JSON transport
+// it replaces, through the production client (cluster.HTTPMember) and the
+// production server, in one process. Both directions of each comparison
+// run interleaved from the same event stream, so the reported ratio —
+// not the absolute events/sec — is what CI gates on
+// (-bench-wire-min-speedup): same-run ratios survive machine changes.
+
+// wireBenchBatch is the fixed comparison batch size: the replication
+// pipeline's default coalescing target order of magnitude, and the batch
+// size the acceptance gate names.
+const wireBenchBatch = 512
+
+// wireBenchStream builds the deterministic, time-ordered bench stream.
+func wireBenchStream(events int, seed int64) ([]temporal.Event, error) {
+	evs, err := gen.Bitcoin(gen.BitcoinConfig{
+		Nodes:    2000,
+		SeedTxns: events / 4,
+		Duration: 500000,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	if len(evs) > events {
+		evs = evs[:events]
+	}
+	return evs, nil
+}
+
+// benchDaemon is one disposable member daemon: a zero-subscription member
+// server (transport cost only — no detection work diluting the ratio)
+// behind an httptest front end, with the binary listener armed.
+type benchDaemon struct {
+	srv  *Server
+	ts   *httptest.Server
+	addr string
+}
+
+func newBenchDaemon() (*benchDaemon, error) {
+	srv, err := New(Config{Member: true, Recent: 1 << 17})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.StartWire("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &benchDaemon{srv: srv, ts: httptest.NewServer(srv.Handler()), addr: addr}, nil
+}
+
+func (d *benchDaemon) close() {
+	d.ts.Close()
+	d.srv.Close()
+}
+
+// feedMember drives the whole stream through one HTTPMember in seq-tagged
+// batches and returns events/sec.
+func feedMember(m *cluster.HTTPMember, evs []temporal.Event) (float64, error) {
+	var seq int64
+	start := time.Now()
+	for i := 0; i < len(evs); i += wireBenchBatch {
+		end := i + wireBenchBatch
+		if end > len(evs) {
+			end = len(evs)
+		}
+		seq++
+		if _, err := m.Ingest(cluster.Batch{Seq: seq, Events: evs[i:end]}); err != nil {
+			return 0, err
+		}
+	}
+	return float64(len(evs)) / time.Since(start).Seconds(), nil
+}
+
+// RunWireBench measures single-member ingest throughput over both
+// transports: the same stream, batched at wireBenchBatch, delivered by a
+// cluster.HTTPMember once pinned to JSON (DisableWire) and once pinned to
+// the binary protocol (SetWireAddr), interleaved best-of-runs with a
+// fresh daemon per measurement so neither direction inherits warm state.
+func RunWireBench(events int, seed int64, runs int) (*stream.WireBenchResult, error) {
+	if events <= 0 {
+		events = 30000
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	evs, err := wireBenchStream(events, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &stream.WireBenchResult{BatchSize: wireBenchBatch, Events: len(evs), Runs: runs}
+	for r := 0; r < runs; r++ {
+		for _, binary := range []bool{false, true} {
+			d, err := newBenchDaemon()
+			if err != nil {
+				return nil, err
+			}
+			m := cluster.NewHTTPMember("wirebench", d.ts.URL, d.ts.Client())
+			if binary {
+				m.SetWireAddr(d.addr)
+			} else {
+				m.DisableWire()
+			}
+			runtime.GC()
+			rate, err := feedMember(m, evs)
+			m.CloseWire()
+			d.close()
+			if err != nil {
+				return nil, fmt.Errorf("wire bench (binary=%v): %w", binary, err)
+			}
+			if binary && rate > res.WireEventsPerSec {
+				res.WireEventsPerSec = rate
+			}
+			if !binary && rate > res.JSONEventsPerSec {
+				res.JSONEventsPerSec = rate
+			}
+		}
+	}
+	if res.JSONEventsPerSec > 0 {
+		res.Speedup = res.WireEventsPerSec / res.JSONEventsPerSec
+	}
+	return res, nil
+}
+
+// RunWireReplicationBench measures the replication pipeline end to end
+// against a daemon shard set — coordinator, log, per-member replicators —
+// with deliveries pinned to JSON and then to the binary protocol. The
+// sustained rate includes the drain barrier (every member has applied the
+// whole log), which is the figure backpressure bounds on long streams.
+func RunWireReplicationBench(shards, events int, seed int64, runs int) (*cluster.WireReplicationResult, error) {
+	if shards <= 0 {
+		shards = 4
+	}
+	if events <= 0 {
+		events = 30000
+	}
+	if runs <= 0 {
+		runs = 2
+	}
+	evs, err := wireBenchStream(events, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &cluster.WireReplicationResult{
+		Shards: shards, Events: len(evs), BatchSize: wireBenchBatch, Runs: runs,
+	}
+	measure := func(binary bool) (float64, error) {
+		var daemons []*benchDaemon
+		defer func() {
+			for _, d := range daemons {
+				d.close()
+			}
+		}()
+		members := make([]cluster.Member, shards)
+		for i := range members {
+			d, err := newBenchDaemon()
+			if err != nil {
+				return 0, err
+			}
+			daemons = append(daemons, d)
+			m := cluster.NewHTTPMember(fmt.Sprintf("shard-%d", i), d.ts.URL, d.ts.Client())
+			if binary {
+				m.SetWireAddr(d.addr)
+			} else {
+				m.DisableWire()
+			}
+			members[i] = m
+		}
+		c, err := cluster.New(cluster.Config{
+			Members:      members,
+			HistoryLimit: 4 * wireBenchBatch,
+			RetryDelay:   5 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < len(evs); i += wireBenchBatch {
+			end := i + wireBenchBatch
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if _, err := c.Ingest(evs[i:end]); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.Drain(); err != nil {
+			return 0, err
+		}
+		return float64(len(evs)) / time.Since(start).Seconds(), nil
+	}
+	for r := 0; r < runs; r++ {
+		for _, binary := range []bool{false, true} {
+			rate, err := measure(binary)
+			if err != nil {
+				return nil, fmt.Errorf("wire replication bench (binary=%v): %w", binary, err)
+			}
+			if binary && rate > res.WireEventsPerSec {
+				res.WireEventsPerSec = rate
+			}
+			if !binary && rate > res.JSONEventsPerSec {
+				res.JSONEventsPerSec = rate
+			}
+		}
+	}
+	if res.JSONEventsPerSec > 0 {
+		res.Speedup = res.WireEventsPerSec / res.JSONEventsPerSec
+	}
+	return res, nil
+}

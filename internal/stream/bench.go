@@ -111,6 +111,25 @@ type BenchReport struct {
 	// the CI gate keeps it under 5%.
 	AttribOverhead     float64 `json:"attrib_overhead"`
 	AttribOverheadRuns int     `json:"attrib_overhead_runs"`
+	// Wire compares single-member ingest throughput over the JSON HTTP
+	// transport against the binary wire protocol (DESIGN.md §16) — same
+	// event stream, same batch size, same process, interleaved best-of-N
+	// runs, so the ratio is machine-independent. Populated by the server
+	// package (internal/server.RunWireBench): the transport stack lives
+	// above this package, so the report only carries the numbers.
+	Wire *WireBenchResult `json:"wire,omitempty"`
+}
+
+// WireBenchResult is the BenchReport.Wire payload: the JSON-vs-binary
+// ingest transport comparison. The CI gate reads Speedup
+// (-bench-wire-min-speedup).
+type WireBenchResult struct {
+	BatchSize        int     `json:"batch_size"`
+	Events           int     `json:"events"`
+	Runs             int     `json:"runs"`
+	JSONEventsPerSec float64 `json:"json_events_per_sec"`
+	WireEventsPerSec float64 `json:"wire_events_per_sec"`
+	Speedup          float64 `json:"speedup"`
 }
 
 // BenchSubs builds n distinct benchmark subscriptions: all on one shape

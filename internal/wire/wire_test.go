@@ -1,0 +1,334 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"flowmotif/internal/temporal"
+)
+
+func decodeOne(t *testing.T, d *Decoder, frame []byte, r *bytes.Reader) (Frame, []temporal.Event) {
+	t.Helper()
+	r.Reset(frame)
+	f, err := d.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f.Type != FrameBatch {
+		t.Fatalf("frame type = %#x, want batch", f.Type)
+	}
+	evs, err := d.Events()
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	return f, evs
+}
+
+func randomEvents(rng *rand.Rand, n int) []temporal.Event {
+	evs := make([]temporal.Event, n)
+	t := rng.Int63n(1 << 40)
+	for i := range evs {
+		t += rng.Int63n(100)
+		evs[i] = temporal.Event{
+			From: temporal.NodeID(rng.Intn(1 << 20)),
+			To:   temporal.NodeID(rng.Intn(1 << 20)),
+			T:    t,
+			F:    float64(rng.Intn(1000)) + 0.25,
+		}
+	}
+	return evs
+}
+
+func TestNumericRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var enc Encoder
+	r := bytes.NewReader(nil)
+	dec := NewDecoder(r)
+	for trial := 0; trial < 20; trial++ {
+		want := randomEvents(rng, rng.Intn(200))
+		frame, err := enc.EncodeBatch(int64(trial+1), "00-abc-def-01", want)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		f, got := decodeOne(t, dec, frame, r)
+		if f.Seq != int64(trial+1) || f.Traceparent != "00-abc-def-01" {
+			t.Fatalf("trailer mismatch: seq=%d tp=%q", f.Seq, f.Traceparent)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEncodeSortsUnorderedBatch(t *testing.T) {
+	in := []temporal.Event{
+		{From: 1, To: 2, T: 50, F: 1},
+		{From: 3, To: 4, T: 10, F: 2},
+		{From: 5, To: 6, T: 50, F: 3}, // equal-T: stable order after the first T=50
+	}
+	want := make([]temporal.Event, len(in))
+	copy(want, in)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].T < want[j].T })
+	var enc Encoder
+	frame, err := enc.EncodeBatch(0, "", in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := bytes.NewReader(nil)
+	dec := NewDecoder(r)
+	_, got := decodeOne(t, dec, frame, r)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v (stable sort expected)", i, got[i], want[i])
+		}
+	}
+	if in[0].T != 50 {
+		t.Fatalf("input batch mutated by encoder")
+	}
+}
+
+func TestSymbolicRoundTripIncrementalDefs(t *testing.T) {
+	resolved := temporal.NewInterner()
+	var enc Encoder
+	r := bytes.NewReader(nil)
+	dec := NewDecoder(r)
+	dec.Resolve = func(label []byte) (temporal.NodeID, error) {
+		return resolved.ID(string(label)), nil
+	}
+
+	frame, err := enc.EncodeLabeledBatch(1, "", []LabeledEvent{
+		{From: "alice", To: "bob", T: 1, F: 5},
+		{From: "bob", To: "carol", T: 2, F: 7},
+	})
+	if err != nil {
+		t.Fatalf("encode 1: %v", err)
+	}
+	_, got := decodeOne(t, dec, frame, r)
+	if dec.SymbolTableLen() != 3 {
+		t.Fatalf("symbol table = %d entries, want 3", dec.SymbolTableLen())
+	}
+	a, _ := resolved.Lookup("alice")
+	b, _ := resolved.Lookup("bob")
+	c, _ := resolved.Lookup("carol")
+	if got[0].From != a || got[0].To != b || got[1].From != b || got[1].To != c {
+		t.Fatalf("resolved ids mismatch: %+v", got)
+	}
+
+	// Second frame on the same connection: only the new label is defined.
+	frame, err = enc.EncodeLabeledBatch(2, "", []LabeledEvent{
+		{From: "carol", To: "dave", T: 3, F: 9},
+	})
+	if err != nil {
+		t.Fatalf("encode 2: %v", err)
+	}
+	_, got = decodeOne(t, dec, frame, r)
+	if dec.SymbolTableLen() != 4 {
+		t.Fatalf("symbol table = %d entries after frame 2, want 4", dec.SymbolTableLen())
+	}
+	d4, _ := resolved.Lookup("dave")
+	if got[0].From != c || got[0].To != d4 {
+		t.Fatalf("resolved ids mismatch in frame 2: %+v", got)
+	}
+}
+
+func TestAckAndErrorFrames(t *testing.T) {
+	ack := Ack{Seq: 42, Ingested: 512, Watermark: -7, Detections: 3, Dup: true, Trace: "0af7651916cd43dd8448eb211c80319c"}
+	frame := AppendAckFrame(nil, ack)
+	r := bytes.NewReader(frame)
+	dec := NewDecoder(r)
+	f, err := dec.Next()
+	if err != nil || f.Type != FrameAck {
+		t.Fatalf("Next: %v type=%#x", err, f.Type)
+	}
+	got, err := dec.Ack()
+	if err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if got != ack {
+		t.Fatalf("ack = %+v, want %+v", got, ack)
+	}
+
+	frame = AppendErrorFrame(nil, CodeBehindFrontier, "behind frontier")
+	r.Reset(frame)
+	f, err = dec.Next()
+	if err != nil || f.Type != FrameError {
+		t.Fatalf("Next: %v type=%#x", err, f.Type)
+	}
+	re, err := dec.RemoteErr()
+	if err != nil {
+		t.Fatalf("RemoteErr: %v", err)
+	}
+	if re.Code != CodeBehindFrontier || re.Msg != "behind frontier" {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	var enc Encoder
+	good, err := enc.EncodeBatch(1, "tp", randomEvents(rand.New(rand.NewSource(1)), 16))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"bad magic", mut(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"bad version", mut(func(b []byte) { b[2] = 99 }), ErrBadVersion},
+		{"payload bit flip", mut(func(b []byte) { b[headerSize+3] ^= 0x40 }), ErrChecksum},
+		{"crc bit flip", mut(func(b []byte) { b[len(b)-1] ^= 1 }), ErrChecksum},
+		{"unknown type", mut(func(b []byte) { b[3] = 0x7f }), ErrMalformed},
+	}
+	for _, tc := range cases {
+		r := bytes.NewReader(tc.frame)
+		dec := NewDecoder(r)
+		_, err := dec.Next()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := dec.Events(); err == nil {
+			t.Errorf("%s: Events succeeded after rejected frame", tc.name)
+		}
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut += 7 {
+			r := bytes.NewReader(good[:cut])
+			dec := NewDecoder(r)
+			if _, err := dec.Next(); err == nil {
+				t.Fatalf("truncated at %d bytes accepted", cut)
+			}
+		}
+	})
+
+	t.Run("oversized", func(t *testing.T) {
+		r := bytes.NewReader(good)
+		dec := NewDecoder(r)
+		dec.MaxFrame = 8
+		if _, err := dec.Next(); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+
+	t.Run("symbolic without resolver", func(t *testing.T) {
+		var enc Encoder
+		frame, err := enc.EncodeLabeledBatch(1, "", []LabeledEvent{{From: "a", To: "b", T: 1, F: 1}})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec := NewDecoder(bytes.NewReader(frame))
+		if _, err := dec.Next(); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("err = %v, want ErrMalformed", err)
+		}
+	})
+}
+
+func TestNegativeNodeIDRejectedAtEncode(t *testing.T) {
+	var enc Encoder
+	if _, err := enc.EncodeBatch(0, "", []temporal.Event{{From: -1, To: 2, T: 1, F: 1}}); err == nil {
+		t.Fatal("negative node id accepted")
+	}
+	if _, err := enc.EncodeBatch(-1, "", nil); err == nil {
+		t.Fatal("negative seq accepted")
+	}
+}
+
+func TestExtremeValuesRoundTrip(t *testing.T) {
+	want := []temporal.Event{
+		{From: 0, To: math.MaxInt32, T: math.MinInt64 / 2, F: math.Inf(1)},
+		{From: math.MaxInt32, To: 0, T: 0, F: -0.0},
+		{From: 1, To: 1, T: math.MaxInt64/2 - 1, F: math.SmallestNonzeroFloat64},
+	}
+	var enc Encoder
+	frame, err := enc.EncodeBatch(math.MaxInt64, "", want)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := bytes.NewReader(nil)
+	dec := NewDecoder(r)
+	f, got := decodeOne(t, dec, frame, r)
+	if f.Seq != math.MaxInt64 {
+		t.Fatalf("seq = %d", f.Seq)
+	}
+	for i := range want {
+		if math.Float64bits(got[i].F) != math.Float64bits(want[i].F) || got[i].T != want[i].T ||
+			got[i].From != want[i].From || got[i].To != want[i].To {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDecodeSteadyStateZeroAlloc is the alloc contract the noalloc flowvet
+// annotation encodes: once the decoder's buffers have grown, decoding a
+// numeric frame (Next + Events) allocates nothing.
+func TestDecodeSteadyStateZeroAlloc(t *testing.T) {
+	var enc Encoder
+	frame, err := enc.EncodeBatch(1, "", randomEvents(rand.New(rand.NewSource(3)), 512))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := bytes.NewReader(frame)
+	dec := NewDecoder(r)
+	decode := func() {
+		r.Reset(frame)
+		if _, err := dec.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if _, err := dec.Events(); err != nil {
+			t.Fatalf("Events: %v", err)
+		}
+	}
+	decode() // warm the recycled buffers
+	if avg := testing.AllocsPerRun(50, decode); avg != 0 {
+		t.Fatalf("steady-state decode allocates %.1f objects per frame, want 0", avg)
+	}
+}
+
+// BenchmarkDecodeEvents measures the steady-state binary decode path and
+// asserts the zero-allocs/op contract from the issue's acceptance
+// criteria before timing.
+func BenchmarkDecodeEvents(b *testing.B) {
+	var enc Encoder
+	events := randomEvents(rand.New(rand.NewSource(3)), 512)
+	frame, err := enc.EncodeBatch(1, "", events)
+	if err != nil {
+		b.Fatalf("encode: %v", err)
+	}
+	frame = append([]byte(nil), frame...)
+	r := bytes.NewReader(frame)
+	dec := NewDecoder(r)
+	decode := func() {
+		r.Reset(frame)
+		if _, err := dec.Next(); err != nil {
+			b.Fatalf("Next: %v", err)
+		}
+		if _, err := dec.Events(); err != nil {
+			b.Fatalf("Events: %v", err)
+		}
+	}
+	decode()
+	if avg := testing.AllocsPerRun(50, decode); avg != 0 {
+		b.Fatalf("steady-state decode allocates %.1f objects per frame, want 0", avg)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decode()
+	}
+}
